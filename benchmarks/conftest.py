@@ -1,0 +1,30 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each benchmark file regenerates one of the paper's tables or figures with
+pytest-benchmark timing the full experiment, then asserts the qualitative
+*shape* the paper reports (who wins, in which direction). One shared
+harness instance caches simulation runs within a session so each figure's
+benchmark measures its own incremental work.
+
+Intensity is kept low so the full suite finishes in minutes; pass
+``--benchmark-only`` as usual. For paper-scale runs use the CLI
+(``rcc-repro all --intensity 1.0``).
+"""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.harness.experiments import Harness
+
+BENCH_INTENSITY = 0.15
+
+
+@pytest.fixture(scope="session")
+def harness() -> Harness:
+    return Harness(cfg=GPUConfig.bench(), intensity=BENCH_INTENSITY)
+
+
+def run_once(benchmark, fn):
+    """Time one full regeneration of an experiment (no warmup rounds —
+    a single run is minutes-scale work, and results are cached anyway)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,118 @@
+"""Ablation benches for the design choices DESIGN.md calls out:
+
+* fixed-lease sweep (paper §III-E: "the performance spread among fixed
+  leases was negligible" because RCC operates in logical time);
+* renew x predictor cross (both mechanisms compose);
+* livelock-tick sensitivity (the periodic now bump is practically free);
+* rollover-frequency stress (narrow timestamps still complete correctly).
+"""
+
+from statistics import geometric_mean
+
+import pytest
+
+from repro.config import GPUConfig, TimestampConfig
+from repro.sim.gpusim import run_simulation
+from repro.workloads import get_workload
+
+CFG = GPUConfig.bench()
+INTENSITY = 0.12
+WORKLOADS = ["dlb", "stn", "bh"]
+
+
+def run(protocol, wlname, ts=None, cfg=CFG):
+    if ts is not None:
+        cfg = cfg.replace(ts=ts)
+    wl = get_workload(wlname, intensity=INTENSITY)
+    return run_simulation(cfg, protocol, wl.generate(cfg), wlname)
+
+
+def test_fixed_lease_sweep(benchmark):
+    """Fixed logical leases of very different sizes perform similarly:
+    logical clocks just run at different rates (paper §III-E)."""
+
+    def sweep():
+        out = {}
+        for lease in (16, 64, 256, 1024):
+            ts = TimestampConfig(lease_min=lease, lease_default=lease,
+                                 lease_max=lease, predictor_enabled=False)
+            out[lease] = geometric_mean(
+                [run("RCC", w, ts=ts).cycles for w in WORKLOADS])
+        return out
+
+    cycles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for lease, c in cycles.items():
+        print(f"fixed lease {lease:5d}: gmean cycles {c:,.0f}")
+    spread = max(cycles.values()) / min(cycles.values())
+    print(f"spread: {spread:.2f}x")
+    assert spread < 1.35  # "negligible" spread, with scaled-down slack
+
+
+def test_renew_predictor_cross(benchmark):
+    """2x2 cross of the renew mechanism and the lease predictor."""
+
+    def cross():
+        out = {}
+        for renew in (False, True):
+            for pred in (False, True):
+                ts = TimestampConfig(renew_enabled=renew,
+                                     predictor_enabled=pred)
+                res = [run("RCC", w, ts=ts) for w in WORKLOADS]
+                out[(renew, pred)] = (
+                    geometric_mean([r.cycles for r in res]),
+                    sum(r.total_flits for r in res),
+                )
+        return out
+
+    out = benchmark.pedantic(cross, rounds=1, iterations=1)
+    print()
+    for (renew, pred), (cycles, flits) in out.items():
+        print(f"renew={renew!s:5} predictor={pred!s:5}: "
+              f"gmean cycles {cycles:,.0f}, flits {flits:,}")
+    # Renew must reduce traffic with the predictor off or on.
+    assert out[(True, True)][1] <= out[(False, True)][1]
+    assert out[(True, False)][1] <= out[(False, False)][1]
+
+
+def test_livelock_tick_sensitivity(benchmark):
+    """The periodic logical-time bump barely perturbs performance."""
+
+    def sweep():
+        out = {}
+        for period in (0, 1_000, 10_000):
+            ts = TimestampConfig(livelock_tick_cycles=period)
+            out[period] = geometric_mean(
+                [run("RCC", w, ts=ts).cycles for w in WORKLOADS])
+        return out
+
+    cycles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for period, c in cycles.items():
+        print(f"livelock tick {period:6d}: gmean cycles {c:,.0f}")
+    assert max(cycles.values()) / min(cycles.values()) < 1.10
+
+
+def test_rollover_stress(benchmark):
+    """Narrow timestamps force rollovers; runs stay correct and the cost
+    stays bounded."""
+
+    def stress():
+        wide = run("RCC", "vpr")
+        # 9-bit clocks: the guard band sits at ~300, and vpr's stores to
+        # freshly leased grid blocks advance logical time by ~a lease each.
+        ts = TimestampConfig(bits=9, lease_min=8, lease_default=32,
+                             lease_max=32, predictor_enabled=False)
+        narrow_cfg = CFG.replace(ts=ts)
+        wl = get_workload("vpr", intensity=INTENSITY)
+        narrow = run_simulation(narrow_cfg, "RCC", wl.generate(narrow_cfg),
+                                "vpr")
+        return wide, narrow
+
+    wide, narrow = benchmark.pedantic(stress, rounds=1, iterations=1)
+    print()
+    print(f"32-bit: {wide.cycles:,} cycles, {wide.rollovers} rollovers")
+    print(f"9-bit : {narrow.cycles:,} cycles, {narrow.rollovers} rollovers")
+    assert narrow.rollovers >= 1
+    assert narrow.mem_ops == wide.mem_ops
+    assert narrow.cycles < wide.cycles * 3

@@ -1,0 +1,33 @@
+"""Bench: regenerate Fig. 1 (motivation: SC stalls, store latencies, and
+the SC-ideal headroom under the MESI-WT baseline)."""
+
+from benchmarks.conftest import run_once
+
+
+def test_fig1_motivation(benchmark, harness):
+    exp = run_once(benchmark, harness.fig1)
+    print()
+    print(exp.render())
+
+    rows = {r[0]: r for r in exp.rows}
+    inter = [r for r in exp.rows if r[1] == "inter"]
+    intra = [r for r in exp.rows if r[1] == "intra"]
+
+    # (a) SC stalls exist but most memory ops are covered by TLP for at
+    # least some workloads; every value is a valid fraction.
+    assert all(0 <= r[2] <= 1 for r in exp.rows)
+
+    # (b) For store-heavy inter-workgroup workloads, stalls are blamed on
+    # prior stores; dlb/stn are the paper's canonical examples.
+    assert rows["dlb"][3] > 0.5
+    assert rows["stn"][3] > 0.5
+
+    # (c) Stores are slower than loads for most inter-wg workloads.
+    assert sum(1 for r in inter if r[6] > 1.0) >= 4
+
+    # (d) Idealizing coherence helps inter-wg workloads more than intra.
+    from statistics import geometric_mean
+    g_inter = geometric_mean([r[7] for r in inter])
+    g_intra = geometric_mean([r[7] for r in intra])
+    assert g_inter > g_intra
+    assert 0.9 < g_intra < 1.15  # intra sees (almost) no benefit

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 6 (RCC lease expirations and renewability)."""
+
+from benchmarks.conftest import run_once
+
+
+def test_fig6_expiration(benchmark, harness):
+    exp = run_once(benchmark, harness.fig6)
+    print()
+    print(exp.render())
+
+    inter = [r for r in exp.rows if r[1] == "inter"]
+
+    # Left panel: inter-workgroup sharing produces real expiration rates.
+    assert any(r[2] > 0.02 for r in inter)
+    # Right panel: a substantial fraction of expired refetches are
+    # premature (block unchanged in L2) and can be renewed.
+    renewables = [r[3] for r in inter if r[2] > 0.02]
+    assert sum(renewables) / len(renewables) > 0.3
+    # All values are fractions.
+    assert all(0 <= r[2] <= 1 and 0 <= r[3] <= 1 for r in exp.rows)

@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 7 (the RENEW mechanism's traffic savings and the
+lease predictor's expiration savings, inter-workgroup workloads)."""
+
+from statistics import geometric_mean
+
+from benchmarks.conftest import run_once
+
+
+def test_fig7_renew_and_predictor(benchmark, harness):
+    exp = run_once(benchmark, harness.fig7)
+    print()
+    print(exp.render())
+
+    # Left: +R (renew on) must not increase traffic; it should help on
+    # workloads with real expiration rates.
+    traffic_ratios = [r[3] for r in exp.rows]
+    assert geometric_mean(traffic_ratios) <= 1.005
+    assert min(traffic_ratios) < 1.0
+
+    # Right: +P (predictor on) must not inflate expired reads. (Our
+    # synthetic traces have a higher truly-shared fraction than the
+    # originals, so the measured reduction is far smaller than the paper's
+    # -31% — see EXPERIMENTS.md; at bench intensity it can sit at ~1.0.)
+    expired_ratios = [r[6] for r in exp.rows]
+    assert geometric_mean(expired_ratios) < 1.03

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 8 (SC stall cycles and stall-resolve latency of
+TCS and RCC, normalized to the MESI baseline)."""
+
+from statistics import geometric_mean
+
+from benchmarks.conftest import run_once
+
+
+def test_fig8_sc_stalls(benchmark, harness):
+    exp = run_once(benchmark, harness.fig8)
+    print()
+    print(exp.render())
+
+    g_stall_tcs = geometric_mean([r[2] for r in exp.rows])
+    g_stall_rcc = geometric_mean([r[3] for r in exp.rows])
+    g_res_rcc = geometric_mean([r[5] for r in exp.rows])
+
+    # RCC reduces SC stall cycles vs MESI and vs TCS (paper: -52%, -25%).
+    assert g_stall_rcc < 1.0
+    assert g_stall_rcc < g_stall_tcs
+    # RCC resolves the remaining stalls faster than MESI (paper: -35%).
+    assert g_res_rcc < 1.0

@@ -1,0 +1,38 @@
+"""Bench: regenerate Fig. 9 (speedup, interconnect energy, and traffic of
+TCS/TCW/RCC normalized to the MESI-WT baseline) — the headline result."""
+
+from statistics import geometric_mean
+
+from benchmarks.conftest import run_once
+
+
+def _gmeans(exp, col, category):
+    return geometric_mean([r[col] for r in exp.rows if r[1] == category])
+
+
+def test_fig9_performance_energy_traffic(benchmark, harness):
+    exp = run_once(benchmark, harness.fig9)
+    print()
+    print(exp.render())
+
+    # Columns: 2 speed_TCS, 3 speed_TCW, 4 speed_RCC,
+    #          5 energy_TCS, 6 energy_TCW, 7 energy_RCC
+    rcc_inter = _gmeans(exp, 4, "inter")
+    tcs_inter = _gmeans(exp, 2, "inter")
+    tcw_inter = _gmeans(exp, 3, "inter")
+    rcc_intra = _gmeans(exp, 4, "intra")
+
+    # The paper's headline shape:
+    # RCC is the fastest SC design, well ahead of MESI on inter-wg...
+    assert rcc_inter > 1.25
+    # ...and ahead of TCS (paper: +29%)...
+    assert rcc_inter > tcs_inter * 1.1
+    # ...and close to (within ~15% of) the best non-SC design, TCW.
+    assert rcc_inter > tcw_inter * 0.85
+    # Intra-workgroup overhead of always-on SC coherence stays small.
+    assert rcc_intra > 0.95
+
+    # Energy: RCC spends less interconnect energy than MESI on inter-wg
+    # (less traffic + 2 VCs instead of 5).
+    rcc_energy_inter = _gmeans(exp, 7, "inter")
+    assert rcc_energy_inter < 1.0

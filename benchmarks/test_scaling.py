@@ -1,0 +1,40 @@
+"""Bench: core-count scaling of interconnect energy.
+
+The paper's closing argument for Fig. 9b: "interconnect energy expenditure
+is becoming more important as GPU core counts grow." MESI's 5-VC buffers
+and invalidation traffic scale with the machine; RCC's 2-VC, inv-free
+design scales better. This ablation sweeps the SM count and compares the
+MESI/RCC energy ratio.
+"""
+
+from repro.config import GPUConfig
+from repro.sim.gpusim import run_simulation
+from repro.workloads import get_workload
+
+
+def run(cfg, protocol):
+    wl = get_workload("stn", intensity=0.1)
+    return run_simulation(cfg, protocol, wl.generate(cfg), "stn")
+
+
+def test_energy_gap_grows_with_core_count(benchmark):
+    def sweep():
+        out = {}
+        for n_cores in (4, 8, 16):
+            cfg = GPUConfig.bench().replace(n_cores=n_cores,
+                                            warps_per_core=12)
+            mesi = run(cfg, "MESI")
+            rcc = run(cfg, "RCC")
+            out[n_cores] = (mesi.energy.total, rcc.energy.total,
+                            mesi.cycles, rcc.cycles)
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    ratios = {}
+    for n, (e_mesi, e_rcc, c_mesi, c_rcc) in out.items():
+        ratios[n] = e_mesi / e_rcc
+        print(f"{n:3d} SMs: MESI energy {e_mesi:12,.0f}  RCC {e_rcc:12,.0f}"
+              f"  MESI/RCC {ratios[n]:.2f}x  (speedup {c_mesi / c_rcc:.2f}x)")
+    # RCC spends less interconnect energy at every machine size.
+    assert all(r > 1.0 for r in ratios.values())

@@ -1,0 +1,21 @@
+"""Bench: regenerate Table V (protocol complexity) and check the RCC rows
+against the implementation's actual state enums."""
+
+from benchmarks.conftest import run_once
+from repro.harness.complexity import PAPER_TABLE_V, implementation_states
+
+
+def test_table5_states(benchmark, harness):
+    exp = run_once(benchmark, harness.table5)
+    print()
+    print(exp.render())
+
+    impl = implementation_states()["RCC"]
+    paper = PAPER_TABLE_V["RCC"]
+    assert impl["l1_states"] == paper["l1_states"] == 5
+    assert impl["l1_stable"] == paper["l1_stable"] == 2
+    assert impl["l2_states"] == paper["l2_states"] == 4
+    assert impl["l2_stable"] == paper["l2_stable"] == 2
+    # RCC has the fewest L2 states/transitions of all four protocols.
+    assert all(paper["l2_transitions"] <= d["l2_transitions"]
+               for d in PAPER_TABLE_V.values())

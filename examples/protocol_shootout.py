@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Protocol shootout: compare all six protocols on any benchmark.
+
+Useful when deciding what coherence/consistency point a GPU memory system
+should implement for a given sharing pattern:
+
+    python examples/protocol_shootout.py stn
+    python examples/protocol_shootout.py kmn --intensity 0.4
+    python examples/protocol_shootout.py --list
+"""
+
+import argparse
+
+from repro import GPUConfig, PROTOCOLS, run_simulation
+from repro.harness.tables import render_table
+from repro.workloads import WORKLOADS, get_workload
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("workload", nargs="?", default="stn",
+                    help="benchmark short name (see --list)")
+    ap.add_argument("--intensity", type=float, default=0.2)
+    ap.add_argument("--list", action="store_true",
+                    help="list available benchmarks and exit")
+    args = ap.parse_args()
+
+    if args.list:
+        for name, cls in WORKLOADS.items():
+            print(f"{name:5s} [{cls.category}] {cls.description}")
+        return
+
+    cfg = GPUConfig.bench()
+    rows = []
+    baseline = None
+    for protocol, consistency in PROTOCOLS.items():
+        wl = get_workload(args.workload, intensity=args.intensity)
+        r = run_simulation(cfg, protocol, wl.generate(cfg), args.workload)
+        if baseline is None:
+            baseline = r.cycles
+        rows.append([
+            protocol,
+            consistency.upper(),
+            f"{r.cycles:,}",
+            f"{baseline / r.cycles:.2f}x",
+            f"{r.avg_load_latency:.0f}",
+            f"{r.avg_store_latency:.0f}",
+            f"{r.total_flits:,}",
+            f"{r.energy.total:,.0f}",
+        ])
+
+    print(render_table(
+        ["protocol", "model", "cycles", "speedup", "ld lat", "st lat",
+         "flits", "energy"],
+        rows,
+        title=f"workload '{args.workload}' "
+              f"({WORKLOADS[args.workload].category}-workgroup sharing)",
+    ))
+    print("\nspeedup is relative to the first row (MESI).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Coherence protocols: shared controller scaffolding and the baselines
+(MESI, TC-strong, TC-weak, SC-ideal). The paper's contribution, RCC, lives
+in :mod:`repro.core`."""
+
+from repro.coherence.base import L1ControllerBase, L2ControllerBase, L1Stats, L2Stats
+
+__all__ = ["L1ControllerBase", "L2ControllerBase", "L1Stats", "L2Stats"]

@@ -1,0 +1,85 @@
+"""SC-ideal: sequential consistency with *instant* coherence permissions.
+
+This is the motivation study's upper bound (paper Fig. 1d): the memory
+system still charges the unavoidable write-through round trip to L2, but
+acquiring read/write permission is free — a store's invalidations happen in
+zero time with no traffic and no ack collection, so the ack leaves the L2
+after just the bank access latency.
+
+Implemented as the MESI directory with a magic invalidation path: the L2
+removes sharers' L1 copies directly (simulator reach-around, deliberately
+unphysical) instead of exchanging INV/INV_ACK messages.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.coherence.mesi import MESIL1Controller, MESIL2Controller
+from repro.common.messages import Message
+from repro.common.types import L1State
+from repro.mem.cache_array import CacheLine
+
+
+class IdealL1Controller(MESIL1Controller):
+    """MESI L1; invalidations arrive by magic, never as messages."""
+
+    protocol_name = "SC-IDEAL"
+
+    def magic_invalidate(self, block: int) -> None:
+        """Zero-latency invalidation invoked directly by the L2."""
+        self.stats.invalidations_received += 1
+        line = self.cache.lookup(block)
+        entry = self.mshr.get(block)
+        if line is not None and line.state is L1State.V:
+            self.cache.remove(block)
+        if entry is not None and entry.meta.get("gets_out"):
+            entry.meta["inv_after_fill"] = True
+            # Peekaboo cut: only loads already waiting may use the fill.
+            entry.meta.setdefault("safe_count", len(entry.waiting_loads))
+
+
+class IdealL2Controller(MESIL2Controller):
+    """MESI directory with free, instant invalidations."""
+
+    protocol_name = "SC-IDEAL"
+
+    def __init__(self, bank_id, engine, cfg, noc, amap, dram, backing):
+        super().__init__(bank_id, engine, cfg, noc, amap, dram, backing)
+        self._l1s: List[IdealL1Controller] = []
+
+    def wire_l1s(self, l1s: List[IdealL1Controller]) -> None:
+        self._l1s = list(l1s)
+
+    def _on_getx(self, msg: Message, atomic: bool) -> None:
+        block = msg.addr
+        line = self.cache.lookup(block)
+        if line is not None and line.state.name == "V":
+            if not msg.meta.get("_counted"):
+                msg.meta["_counted"] = True
+                if atomic:
+                    self.stats.atomics += 1
+                else:
+                    self.stats.writes += 1
+            self.stats.hits += 1
+            # Instant permissions: drop every sharer's copy right now —
+            # including the requester's own L1 (sibling warps may have
+            # refetched the block since the writer dropped its copy).
+            for sharer in line.sharers:
+                self.stats.invalidations_sent += 1
+                self._l1_by_endpoint(sharer).magic_invalidate(block)
+            line.sharers.clear()
+            self._apply_write(msg, line, atomic)
+            return
+        super()._on_getx(msg, atomic)
+
+    def _l1_by_endpoint(self, endpoint) -> IdealL1Controller:
+        return self._l1s[endpoint[1]]
+
+    def _on_evict(self, line: CacheLine) -> None:
+        self.stats.evictions += 1
+        for sharer in line.sharers:
+            self._l1_by_endpoint(sharer).magic_invalidate(line.addr)
+        line.sharers.clear()
+        if line.dirty:
+            self.writeback_to_dram(line.addr, line.value)

@@ -1,0 +1,371 @@
+"""MESI-style directory coherence with write-through L1s — the paper's SC
+baseline (Figs. 1, 8, 9 are normalized to it).
+
+The L2 directory tracks the sharer set of every block. A store (GETX, which
+carries the write-through data) must **invalidate every sharer and collect
+their acks** before it can be acknowledged — this preserves write atomicity
+(and hence SC with the in-order core policy) but makes store latency a
+round-trip *plus* an invalidation round-trip under sharing, which is exactly
+the overhead the paper measures in Fig. 1c.
+
+While an invalidation is in flight the directory blocks the line (requests
+retry), so no core can observe the new value before the store completes.
+MESI also needs five virtual networks for deadlock freedom (request /
+response / invalidate / inv-ack / writeback), which the energy model charges
+it for.
+
+State bookkeeping follows the same representation as the other protocols:
+data-bearing states in the tag array, store transients in the MSHR. The
+directory content lives in ``line.sharers`` at the L2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.messages import Message
+from repro.common.types import AccessOutcome, L1State, L2State, MemOpKind, MsgKind
+from repro.coherence.base import L1ControllerBase, L2ControllerBase
+from repro.gpu.warp import MemOpRecord, Warp
+from repro.mem.cache_array import CacheLine
+
+RETRY_DELAY = 8
+
+
+class MESIL1Controller(L1ControllerBase):
+    """Write-through L1 under the MESI directory."""
+
+    protocol_name = "MESI"
+
+    def __init__(self, core_id, engine, cfg, noc, amap):
+        super().__init__(core_id, engine, cfg, noc, amap, L1State.I)
+
+    # ------------------------------------------------------------------
+    def access(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
+        if record.kind is MemOpKind.LOAD:
+            return self._load(record, warp)
+        return self._store_or_atomic(record, warp)
+
+    def _load(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
+        self.stats.loads += 1
+        block = self.block_of(record.addr)
+        line = self.cache.lookup(block)
+        if line is not None and line.state is L1State.V:
+            self.stats.load_hits += 1
+            record.read_value = line.value
+            record.logical_ts = self.engine.now
+            record.order_key = -1
+            line.touch()
+            self.complete(record, warp, delay=self.cfg.l1.hit_latency)
+            return AccessOutcome.HIT
+        entry = self.mshr.get(block)
+        if entry is None and not self.mshr.has_free():
+            return AccessOutcome.STALL
+        if line is None and not self.cache.can_allocate(block):
+            return AccessOutcome.STALL
+        self.stats.load_misses += 1
+        entry = self.mshr.allocate(block)
+        entry.waiting_loads.append((record, warp))
+        if entry.meta.get("gets_out"):
+            return AccessOutcome.MISS
+        if line is None:
+            line = self.cache.insert(block, L1State.IV, self._on_evict)
+        line.state = L1State.IV
+        line.pinned = True
+        entry.meta["gets_out"] = True
+        self.send_to_l2(MsgKind.GETS, block)
+        return AccessOutcome.MISS
+
+    def _store_or_atomic(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
+        block = self.block_of(record.addr)
+        entry = self.mshr.get(block)
+        if entry is not None and entry.pending_stores:
+            # Same-block stores serialize until the previous ack returns.
+            return AccessOutcome.STALL
+        if entry is None and not self.mshr.has_free():
+            return AccessOutcome.STALL
+        self.count_access(record)
+        entry = self.mshr.allocate(block)
+        entry.pending_stores.append((record, warp))
+        line = self.cache.lookup(block)
+        if line is not None and line.state is L1State.V:
+            self.cache.remove(block)  # write-through, write-no-allocate
+            self.stats.self_invalidations += 1
+        elif line is not None:
+            line.pinned = True
+        kind = (MsgKind.ATOMIC if record.kind is MemOpKind.ATOMIC
+                else MsgKind.GETX)
+        self.send_to_l2(kind, block, value=record.value,
+                        meta={"record": record, "warp": warp})
+        return AccessOutcome.MISS
+
+    def _on_evict(self, line: CacheLine) -> None:
+        self.stats.evictions += 1
+        # Silent eviction; the directory over-approximates sharers (its INV
+        # to a non-sharer is acked harmlessly), as in coarse GPU directories.
+
+    # ------------------------------------------------------------------
+    def on_message(self, msg: Message) -> None:
+        if msg.kind is MsgKind.DATA:
+            self._on_data(msg)
+        elif msg.kind is MsgKind.ACK:
+            self._on_ack(msg)
+        elif msg.kind is MsgKind.INV:
+            self._on_inv(msg)
+        else:
+            raise self.unhandled("-", msg.kind, f"addr=0x{msg.addr:x}")
+
+    def _on_data(self, msg: Message) -> None:
+        block = msg.addr
+        entry = self.mshr.get(block)
+        if msg.meta.get("atomic"):
+            self._complete_store(msg, read_value=msg.value)
+            return
+        line = self.cache.lookup(block)
+        inv_after = entry is not None and entry.meta.pop("inv_after_fill", False)
+        # Peekaboo race: loads that merged into the MSHR *after* an INV
+        # arrived must not consume this (now stale) fill — their warp may
+        # already have observed newer data elsewhere. Deliver the fill only
+        # to the loads that were waiting when the INV arrived and refetch
+        # for the rest.
+        safe_count = (entry.meta.pop("safe_count", None)
+                      if entry is not None else None)
+        if line is not None:
+            if inv_after:
+                self.cache.remove(block)
+            else:
+                line.state = L1State.V
+                line.value = msg.value
+        if entry is not None:
+            waiting = entry.waiting_loads
+            if inv_after and safe_count is not None:
+                deliver, keep = waiting[:safe_count], waiting[safe_count:]
+            else:
+                deliver, keep = waiting, []
+            granted_at = msg.meta.get("granted_at", self.engine.now)
+            for record, warp in deliver:
+                record.read_value = msg.value
+                # Witness position: when the directory granted the value
+                # (but never before this op issued — merged loads).
+                record.logical_ts = max(granted_at, record.issue_cycle)
+                record.order_key = msg.meta.get("arrival", -1)
+                self.complete(record, warp)
+            entry.waiting_loads = keep
+            if keep:
+                entry.meta["gets_out"] = True
+                self.send_to_l2(MsgKind.GETS, block)
+            else:
+                entry.meta["gets_out"] = False
+            self._maybe_release(block)
+
+    def _on_ack(self, msg: Message) -> None:
+        self._complete_store(msg)
+
+    def _complete_store(self, msg: Message, read_value=None) -> None:
+        block = msg.addr
+        record: MemOpRecord = msg.meta["record"]
+        warp: Warp = msg.meta["warp"]
+        entry = self.mshr.get(block)
+        if entry is None or (record, warp) not in entry.pending_stores:
+            raise self.unhandled("II", msg.kind, f"no pending store {record!r}")
+        entry.pending_stores.remove((record, warp))
+        record.logical_ts = msg.meta.get("completed_at", self.engine.now)
+        record.order_key = msg.meta.get("arrival", -1)
+        if read_value is not None:
+            record.read_value = read_value
+        self.complete(record, warp)
+        self._maybe_release(block)
+
+    def _on_inv(self, msg: Message) -> None:
+        block = msg.addr
+        self.stats.invalidations_received += 1
+        line = self.cache.lookup(block)
+        entry = self.mshr.get(block)
+        if line is not None and line.state is L1State.V:
+            self.cache.remove(block)
+        if entry is not None and entry.meta.get("gets_out"):
+            # Fetch in flight: the fill must not install a stale copy, and
+            # only loads already waiting may consume it (peekaboo). This
+            # applies whether or not a tag entry survives (it may have been
+            # dropped by an earlier invalidated fill).
+            entry.meta["inv_after_fill"] = True
+            entry.meta.setdefault("safe_count", len(entry.waiting_loads))
+        self.send_to_l2(MsgKind.INV_ACK, block,
+                        meta={"requester": msg.meta.get("requester")})
+
+    def _maybe_release(self, block: int) -> None:
+        entry = self.mshr.get(block)
+        if entry is not None and entry.empty:
+            self.mshr.release(block)
+            line = self.cache.lookup(block)
+            if line is not None:
+                line.pinned = False
+                if line.state is L1State.IV:
+                    self.cache.remove(block)
+
+
+class MESIL2Controller(L2ControllerBase):
+    """Directory bank: sharer tracking + invalidate-before-store-ack."""
+
+    protocol_name = "MESI"
+
+    def __init__(self, bank_id, engine, cfg, noc, amap, dram, backing):
+        super().__init__(bank_id, engine, cfg, noc, amap, dram, backing,
+                         L2State.I)
+
+    # ------------------------------------------------------------------
+    def on_message(self, msg: Message) -> None:
+        if msg.kind is MsgKind.GETS:
+            self._on_gets(msg)
+        elif msg.kind in (MsgKind.GETX, MsgKind.ATOMIC):
+            self._on_getx(msg, atomic=msg.kind is MsgKind.ATOMIC)
+        elif msg.kind is MsgKind.INV_ACK:
+            self._on_inv_ack(msg)
+        else:
+            raise self.unhandled("-", msg.kind, f"addr=0x{msg.addr:x}")
+
+    def _retry(self, msg: Message) -> None:
+        self.engine.schedule_in(RETRY_DELAY, lambda: self.on_message(msg))
+
+    @staticmethod
+    def _busy(line: CacheLine) -> bool:
+        return line.meta.get("inv_pending") is not None
+
+    # ------------------------------------------------------------------
+    def _on_gets(self, msg: Message) -> None:
+        if not msg.meta.get("_counted"):
+            msg.meta["_counted"] = True
+            self.stats.gets += 1
+        block = msg.addr
+        line = self.cache.lookup(block)
+        if line is not None and line.state is L2State.V:
+            if self._busy(line):
+                self._retry(msg)
+                return
+            self.stats.hits += 1
+            line.sharers.add(msg.src)
+            line.touch()
+            self.send(msg.src, MsgKind.DATA, block, value=line.value,
+                      meta={"arrival": self.next_arrival(),
+                            "granted_at": self.engine.now},
+                      delay=self.cfg.l2_per_bank.hit_latency)
+            return
+        if line is not None and line.state is L2State.IV:
+            entry = self.mshr.allocate(block)
+            entry.waiting_loads.append(msg)
+            return
+        self._miss_fetch(msg, block, is_read=True)
+
+    def _on_getx(self, msg: Message, atomic: bool) -> None:
+        if not msg.meta.get("_counted"):
+            msg.meta["_counted"] = True
+            if atomic:
+                self.stats.atomics += 1
+            else:
+                self.stats.writes += 1
+        block = msg.addr
+        line = self.cache.lookup(block)
+        if line is not None and line.state is L2State.V:
+            if self._busy(line):
+                self._retry(msg)
+                return
+            self.stats.hits += 1
+            # Invalidate every sharer, *including* the requesting core's L1:
+            # the writer dropped its own copy at issue, but sibling warps of
+            # the same SM may have refetched the block since.
+            sharers = set(line.sharers)
+            if not sharers:
+                self._apply_write(msg, line, atomic)
+                return
+            # Invalidate every sharer; block the line until all acks return.
+            line.meta["inv_pending"] = {
+                "remaining": len(sharers), "msg": msg, "atomic": atomic,
+            }
+            line.pinned = True  # not evictable while collecting acks
+            line.sharers.clear()
+            for sharer in sharers:
+                self.stats.invalidations_sent += 1
+                self.send(sharer, MsgKind.INV, block,
+                          meta={"requester": msg.src},
+                          delay=self.cfg.l2_per_bank.hit_latency)
+            return
+        if line is not None and line.state is L2State.IV:
+            entry = self.mshr.allocate(block)
+            entry.pending_stores.append((msg, atomic))
+            return
+        self._miss_fetch(msg, block, is_read=False, atomic=atomic)
+
+    def _on_inv_ack(self, msg: Message) -> None:
+        line = self.cache.lookup(msg.addr)
+        if line is None:
+            return  # recall ack for an already-evicted block
+        pending = line.meta.get("inv_pending")
+        if pending is None:
+            return  # recall ack; nothing is waiting
+        pending["remaining"] -= 1
+        if pending["remaining"] == 0:
+            del line.meta["inv_pending"]
+            line.pinned = False
+            self._apply_write(pending["msg"], line, pending["atomic"])
+
+    def _apply_write(self, msg: Message, line: CacheLine, atomic: bool) -> None:
+        old_value = line.value
+        line.value = msg.value
+        line.dirty = True
+        line.touch()
+        hit_lat = self.cfg.l2_per_bank.hit_latency
+        # Serialization point: the write is applied (and the directory
+        # unblocked) now; the ack merely travels back afterwards.
+        completed_at = self.engine.now
+        meta = {"record": msg.meta.get("record"), "warp": msg.meta.get("warp"),
+                "arrival": self.next_arrival(), "completed_at": completed_at}
+        if atomic:
+            meta["atomic"] = True
+            self.send(msg.src, MsgKind.DATA, msg.addr, value=old_value,
+                      meta=meta, delay=hit_lat)
+        else:
+            self.send(msg.src, MsgKind.ACK, msg.addr, meta=meta, delay=hit_lat)
+
+    # ------------------------------------------------------------------
+    def _miss_fetch(self, msg: Message, block: int, is_read: bool,
+                    atomic: bool = False) -> None:
+        if not (self.mshr.has_free() or block in self.mshr) \
+                or not self.cache.can_allocate(block):
+            self._retry(msg)
+            return
+        self.stats.misses += 1
+        line = self.cache.insert(block, L2State.IV, self._on_evict)
+        line.pinned = True
+        line.sharers.clear()
+        entry = self.mshr.allocate(block)
+        if is_read:
+            entry.waiting_loads.append(msg)
+        else:
+            entry.pending_stores.append((msg, atomic))
+        self.fetch_from_dram(block, self._on_dram_data)
+
+    def _on_dram_data(self, block: int) -> None:
+        line = self.cache.lookup(block)
+        entry = self.mshr.get(block)
+        if line is None or entry is None:
+            raise self.unhandled("I", "MEMDATA", f"orphan fill 0x{block:x}")
+        line.state = L2State.V
+        line.pinned = False
+        line.value = self.read_backing(block)
+        reads, entry.waiting_loads = entry.waiting_loads, []
+        writes, entry.pending_stores = entry.pending_stores, []
+        self.mshr.release_if_empty(block)
+        for req in reads:
+            self.on_message(req)
+        for req, _atomic in writes:
+            self.on_message(req)
+
+    def _on_evict(self, line: CacheLine) -> None:
+        self.stats.evictions += 1
+        # Inclusive directory: recall every sharer's copy.
+        for sharer in line.sharers:
+            self.stats.invalidations_sent += 1
+            self.send(sharer, MsgKind.INV, line.addr, meta={"recall": True})
+        line.sharers.clear()
+        if line.dirty:
+            self.writeback_to_dram(line.addr, line.value)

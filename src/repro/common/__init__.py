@@ -1,0 +1,21 @@
+"""Shared primitive types: enums, messages, address helpers."""
+
+from repro.common.types import (
+    AccessOutcome,
+    L1State,
+    L2State,
+    MemOpKind,
+    MsgKind,
+)
+from repro.common.messages import Message
+from repro.common.addresses import AddressMap
+
+__all__ = [
+    "AccessOutcome",
+    "AddressMap",
+    "L1State",
+    "L2State",
+    "MemOpKind",
+    "Message",
+    "MsgKind",
+]

@@ -1,0 +1,124 @@
+"""Core enums shared across the memory system.
+
+These mirror the vocabulary of the paper: memory operation kinds issued by
+warps, coherence message kinds on the interconnect, and the stable/transient
+states of the RCC L1 and L2 controllers (Fig. 4/5 of the paper). Baseline
+protocols (MESI, TC-strong/weak) define their own state enums in their own
+modules; the message kinds here are the union used by all protocols so the
+NoC can account traffic uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MemOpKind(enum.Enum):
+    """A memory/trace operation a warp can issue."""
+
+    LOAD = "LD"
+    STORE = "ST"
+    ATOMIC = "AT"
+    FENCE = "FENCE"
+    COMPUTE = "COMPUTE"
+    BARRIER = "BARRIER"
+
+    @property
+    def is_global_mem(self) -> bool:
+        """True for operations that access the global memory system."""
+        return self in (MemOpKind.LOAD, MemOpKind.STORE, MemOpKind.ATOMIC)
+
+    @property
+    def is_write(self) -> bool:
+        return self in (MemOpKind.STORE, MemOpKind.ATOMIC)
+
+
+class MsgKind(enum.Enum):
+    """Coherence message kinds (union over all protocols).
+
+    ``GETS``/``WRITE``/``ATOMIC`` are L1→L2 requests; ``DATA``/``RENEW``/
+    ``ACK`` are L2→L1 responses (RCC/TC); ``INV``/``INV_ACK``/``RECALL`` are
+    MESI directory traffic; ``WBACK``/``FETCH``/``MEMDATA`` are L2↔DRAM.
+    """
+
+    GETS = "GETS"
+    GETX = "GETX"            # MESI store-permission request (write-through data ride-along)
+    WRITE = "WRITE"
+    ATOMIC = "ATOMIC"
+    DATA = "DATA"
+    RENEW = "RENEW"
+    ACK = "ACK"
+    INV = "INV"
+    INV_ACK = "INV_ACK"
+    FENCE_REQ = "FENCE_REQ"  # TCW fence completion probe
+    FENCE_ACK = "FENCE_ACK"
+    WBACK = "WBACK"
+    FETCH = "FETCH"
+    MEMDATA = "MEMDATA"
+    FLUSH = "FLUSH"          # rollover: L2 -> L1 flush request
+    FLUSH_ACK = "FLUSH_ACK"
+
+    @property
+    def carries_data(self) -> bool:
+        """Messages that carry a full cache block (data flits)."""
+        return self in (
+            MsgKind.WRITE,
+            MsgKind.ATOMIC,
+            MsgKind.DATA,
+            MsgKind.WBACK,
+            MsgKind.MEMDATA,
+            MsgKind.GETX,
+        )
+
+
+class L1State(enum.Enum):
+    """RCC L1 controller states (paper Fig. 4/5).
+
+    ``I``/``V`` are stable. ``IV``: load miss outstanding. ``II``: store or
+    atomic outstanding, block unreadable. ``VI``: store outstanding but the
+    pre-store copy is still valid-readable until the ACK arrives (GPU
+    optimization).
+    """
+
+    I = "I"
+    V = "V"
+    IV = "IV"
+    II = "II"
+    VI = "VI"
+
+    @property
+    def stable(self) -> bool:
+        return self in (L1State.I, L1State.V)
+
+
+class L2State(enum.Enum):
+    """RCC L2 controller states (paper Fig. 4/5).
+
+    ``IV``: miss outstanding with mergeable MSHR. ``IAV``: atomic received in
+    I state; stalls further requests until the line returns from DRAM and the
+    atomic completes.
+    """
+
+    I = "I"
+    V = "V"
+    IV = "IV"
+    IAV = "IAV"
+
+    @property
+    def stable(self) -> bool:
+        return self in (L2State.I, L2State.V)
+
+
+class AccessOutcome(enum.Enum):
+    """Result of presenting a core memory op to the L1 controller."""
+
+    HIT = "hit"              # completes after L1 hit latency
+    MISS = "miss"            # request sent (or merged); completion via response
+    STALL = "stall"          # structural/protocol stall; retry next cycle
+
+
+class Direction(enum.Enum):
+    """Crossbar direction (one xbar per direction, as in the paper)."""
+
+    CORE_TO_L2 = "c2m"
+    L2_TO_CORE = "m2c"

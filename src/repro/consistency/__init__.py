@@ -1,0 +1,5 @@
+"""Memory-consistency enforcement (core issue policy) and SC verification."""
+
+from repro.consistency.model import ConsistencyPolicy, SCPolicy, WOPolicy, make_policy
+
+__all__ = ["ConsistencyPolicy", "SCPolicy", "WOPolicy", "make_policy"]

@@ -1,0 +1,197 @@
+"""Sequential-consistency witness checking.
+
+Every completed memory operation carries a *witness key*: a timestamp
+(``logical_ts`` — logical time for RCC, physical completion time for
+MESI/TC) and a physical tie-break (``order_key`` — the L2 bank's arrival
+counter, or -1 for L1 hits that never visited the bank). Because all
+operations on one address are serviced by one bank, keys of same-address
+operations are totally comparable.
+
+An execution is sequentially consistent if some total order exists that
+(a) respects each warp's program order and (b) makes every load return the
+value of the most recent earlier store. Given the witness keys, we verify
+the standard sufficient per-axiom decomposition:
+
+1. **program order**: each warp's completed global memory ops have
+   non-decreasing timestamps (completions are in program order under the
+   SC issue policy, so this checks the protocol's clock management);
+2. **coherence**: stores to one address are totally ordered by
+   ``(ts, arrival)`` — last writer's value is the architectural value;
+3. **reads-from**: every load (and every atomic's read half) returns the
+   value of the latest same-address store at or before the load's witness
+   position — never a value from the future, never a skipped store;
+4. **atomicity**: an atomic's read half observes exactly its coherence-order
+   predecessor.
+
+Any violation raises :class:`~repro.errors.ConsistencyViolation` (or is
+returned as a list for inspection). The checker is meaningful for the SC
+protocols (RCC, TCS, MESI, SC-IDEAL); weakly-ordered runs (TCW, RCC-WO)
+legitimately fail axiom 1 and parts of 3.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.types import MemOpKind
+from repro.errors import ConsistencyViolation
+from repro.gpu.warp import MemOpRecord
+
+INIT = "init"
+
+
+def _init_value(addr: int) -> Tuple[str, int]:
+    return (INIT, addr)
+
+
+class Violation:
+    """One detected consistency violation."""
+
+    def __init__(self, axiom: str, detail: str, op: Optional[MemOpRecord] = None):
+        self.axiom = axiom
+        self.detail = detail
+        self.op = op
+
+    def __repr__(self) -> str:
+        return f"<Violation {self.axiom}: {self.detail}>"
+
+
+class SCChecker:
+    """Checks an execution log (list of :class:`MemOpRecord`) for SC."""
+
+    def __init__(self, block_bytes: int = 128):
+        self.block_bytes = block_bytes
+
+    def _block(self, addr: int) -> int:
+        return (addr // self.block_bytes) * self.block_bytes
+
+    # ------------------------------------------------------------------
+    def check(self, ops: Iterable[MemOpRecord]) -> List[Violation]:
+        ops = [op for op in ops if op.kind.is_global_mem]
+        violations: List[Violation] = []
+        violations.extend(self._check_program_order(ops))
+        store_order = self._build_coherence_order(ops, violations)
+        violations.extend(self._check_reads(ops, store_order))
+        return violations
+
+    def check_or_raise(self, ops: Iterable[MemOpRecord]) -> None:
+        violations = self.check(ops)
+        if violations:
+            head = "; ".join(repr(v) for v in violations[:5])
+            raise ConsistencyViolation(
+                f"{len(violations)} violation(s), first: {head}")
+
+    # ------------------------------------------------------------------
+    # Axiom 1: per-warp program order embeds into the witness order
+    # ------------------------------------------------------------------
+    def _check_program_order(self, ops: List[MemOpRecord]) -> List[Violation]:
+        out: List[Violation] = []
+        per_warp: Dict[Tuple[int, int], List[MemOpRecord]] = defaultdict(list)
+        for op in ops:
+            per_warp[(op.core_id, op.warp_id)].append(op)
+        for key, warp_ops in per_warp.items():
+            warp_ops.sort(key=lambda o: o.prog_index)
+            last_ts = -1
+            for op in warp_ops:
+                if op.logical_ts < last_ts:
+                    out.append(Violation(
+                        "program-order",
+                        f"warp {key}: op #{op.prog_index} ts={op.logical_ts}"
+                        f" < previous ts={last_ts}", op))
+                last_ts = max(last_ts, op.logical_ts)
+        return out
+
+    # ------------------------------------------------------------------
+    # Axiom 2: per-address store serialization
+    # ------------------------------------------------------------------
+    def _build_coherence_order(
+        self, ops: List[MemOpRecord], violations: List[Violation],
+    ) -> Dict[int, List[MemOpRecord]]:
+        stores: Dict[int, List[MemOpRecord]] = defaultdict(list)
+        for op in ops:
+            if op.kind.is_write:
+                stores[self._block(op.addr)].append(op)
+        for block, ss in stores.items():
+            ss.sort(key=lambda s: (s.logical_ts, s.order_key, s.seq))
+            seen_arrivals = set()
+            for s in ss:
+                if s.order_key < 0:
+                    violations.append(Violation(
+                        "coherence",
+                        f"store {s!r} has no L2 arrival key", s))
+                elif s.order_key in seen_arrivals:
+                    violations.append(Violation(
+                        "coherence",
+                        f"duplicate arrival key {s.order_key} at block "
+                        f"0x{block:x}", s))
+                seen_arrivals.add(s.order_key)
+        return stores
+
+    # ------------------------------------------------------------------
+    # Axioms 3+4: reads-from and atomic adjacency
+    # ------------------------------------------------------------------
+    def _check_reads(
+        self, ops: List[MemOpRecord],
+        store_order: Dict[int, List[MemOpRecord]],
+    ) -> List[Violation]:
+        out: List[Violation] = []
+        value_index: Dict[int, Dict[Any, int]] = {}
+        for block, ss in store_order.items():
+            value_index[block] = {s.value: i for i, s in enumerate(ss)}
+
+        for op in ops:
+            if op.kind is MemOpKind.STORE:
+                continue
+            block = self._block(op.addr)
+            ss = store_order.get(block, [])
+            idx = value_index.get(block, {})
+            v = op.read_value
+            if v is None:
+                out.append(Violation("reads-from", f"{op!r} read nothing", op))
+                continue
+            if isinstance(v, tuple) and v and v[0] == INIT:
+                src_i = -1  # read the initial value
+            elif v in idx:
+                src_i = idx[v]
+            else:
+                out.append(Violation(
+                    "reads-from", f"{op!r} read unknown value {v!r}", op))
+                continue
+
+            # (a) never read from the logical future.
+            if src_i >= 0:
+                src = ss[src_i]
+                if src.logical_ts > op.logical_ts:
+                    out.append(Violation(
+                        "reads-from",
+                        f"{op!r} (ts={op.logical_ts}) read store "
+                        f"{src!r} from the future (ts={src.logical_ts})", op))
+            # (b) never skip a store that is witness-before the read.
+            nxt_i = src_i + 1
+            if nxt_i < len(ss):
+                nxt = ss[nxt_i]
+                stale = False
+                if nxt.logical_ts < op.logical_ts:
+                    stale = True
+                elif (nxt.logical_ts == op.logical_ts and op.order_key >= 0
+                      and nxt.order_key < op.order_key):
+                    stale = True
+                if stale:
+                    out.append(Violation(
+                        "reads-from",
+                        f"{op!r} (ts={op.logical_ts},ak={op.order_key}) "
+                        f"skipped later store {nxt!r} "
+                        f"(ts={nxt.logical_ts},ak={nxt.order_key})", op))
+            # (c) atomics read exactly their coherence predecessor.
+            if op.kind is MemOpKind.ATOMIC:
+                my_i = idx.get(op.value)
+                if my_i is None:
+                    out.append(Violation(
+                        "atomicity", f"{op!r} not in coherence order", op))
+                elif my_i - 1 != src_i:
+                    out.append(Violation(
+                        "atomicity",
+                        f"{op!r} at co-index {my_i} read co-index {src_i}, "
+                        f"not its predecessor", op))
+        return out

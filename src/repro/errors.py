@@ -1,0 +1,57 @@
+"""Exception hierarchy for the RCC reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent simulation configuration."""
+
+
+class ProtocolError(ReproError):
+    """A coherence controller reached a state/event pair it cannot handle.
+
+    In hardware this would be a protocol bug; in the simulator it aborts the
+    run so that FSM holes are found by tests rather than silently mis-ordered.
+    """
+
+    def __init__(self, component: str, state: str, event: str, detail: str = ""):
+        self.component = component
+        self.state = state
+        self.event = event
+        self.detail = detail
+        msg = f"{component}: no transition for event {event!r} in state {state!r}"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+
+class SimulationError(ReproError):
+    """The simulation engine detected an internal inconsistency."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation made no forward progress (no events, work remaining)."""
+
+    def __init__(self, cycle: int, detail: str = ""):
+        self.cycle = cycle
+        msg = f"deadlock detected at cycle {cycle}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class ConsistencyViolation(ReproError):
+    """The SC witness checker found an execution that is not sequentially
+    consistent (or violates coherence's per-location write serialization)."""
+
+
+class TraceError(ReproError):
+    """A malformed workload trace (bad op, misaligned barrier, ...)."""

@@ -1,0 +1,20 @@
+"""GPU core (SM) model: warps, traces, scheduler, and the issue pipeline."""
+
+from repro.gpu.trace import TraceOp, WarpTrace, load_op, store_op, atomic_op, \
+    compute_op, fence_op, barrier_op
+from repro.gpu.warp import Warp, MemOpRecord
+from repro.gpu.core import GPUCore
+
+__all__ = [
+    "GPUCore",
+    "MemOpRecord",
+    "TraceOp",
+    "Warp",
+    "WarpTrace",
+    "atomic_op",
+    "barrier_op",
+    "compute_op",
+    "fence_op",
+    "load_op",
+    "store_op",
+]

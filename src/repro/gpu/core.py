@@ -1,0 +1,272 @@
+"""The SM (streaming multiprocessor) model.
+
+Each core buffers many warps and issues at most one warp-instruction per
+cycle, selected by loose round-robin (as in the paper's Table III). Warps
+execute in order. Memory consistency is enforced at issue by a
+:class:`~repro.consistency.model.ConsistencyPolicy`:
+
+* under SC, a warp's next global memory op stalls until its previous one has
+  completed — these are the paper's *SC stalls*, and the core attributes each
+  stall to the kind of the blocking (preceding) operation, which is exactly
+  the data behind the paper's Fig. 1a/1b and Fig. 8;
+* under WO, several memory ops may be outstanding and only fences drain the
+  warp (plus any protocol-specific visibility wait, e.g. TC-weak's GWCT).
+
+The core is event-driven: it ticks every cycle only while at least one warp
+can issue, then sleeps until a memory response, compute completion, or
+barrier release wakes it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.common.types import AccessOutcome, MemOpKind
+from repro.consistency.model import ConsistencyPolicy
+from repro.errors import SimulationError
+from repro.gpu.trace import WarpTrace
+from repro.gpu.warp import MemOpRecord, Warp
+from repro.stats.histogram import Histogram
+from repro.timing.engine import Engine
+
+
+class CoreStats:
+    """Per-core counters aggregated by the harness."""
+
+    def __init__(self) -> None:
+        self.mem_ops = 0
+        self.mem_ops_by_kind: Dict[MemOpKind, int] = {
+            MemOpKind.LOAD: 0, MemOpKind.STORE: 0, MemOpKind.ATOMIC: 0,
+        }
+        self.latency_sum: Dict[MemOpKind, int] = {
+            MemOpKind.LOAD: 0, MemOpKind.STORE: 0, MemOpKind.ATOMIC: 0,
+        }
+        #: Full latency distributions (log-bucketed) per op kind.
+        self.latency_hist: Dict[MemOpKind, Histogram] = {
+            MemOpKind.LOAD: Histogram(), MemOpKind.STORE: Histogram(),
+            MemOpKind.ATOMIC: Histogram(),
+        }
+        self.sc_stalled_ops = 0
+        self.sc_stall_cycles = 0
+        #: Stall cycles attributed to the kind of the *blocking* op (Fig 1b).
+        self.sc_stall_by_blocker: Dict[MemOpKind, int] = {
+            MemOpKind.LOAD: 0, MemOpKind.STORE: 0, MemOpKind.ATOMIC: 0,
+        }
+        self.structural_stalls = 0
+        self.fence_ops = 0
+        self.fence_wait_cycles = 0
+        self.issued_instructions = 0
+        self.done_cycle: Optional[int] = None
+
+
+class GPUCore:
+    """One SM: warps + issue stage + barrier unit."""
+
+    def __init__(self, core_id: int, engine: Engine,
+                 policy: ConsistencyPolicy,
+                 traces: List[WarpTrace],
+                 on_all_done: Optional[Callable[[int], None]] = None,
+                 record_log: bool = False):
+        self.core_id = core_id
+        self.engine = engine
+        self.policy = policy
+        self.warps = [Warp(t) for t in traces]
+        for t in traces:
+            t.validate(len(traces))
+        self.l1 = None  # attached by the simulator after construction
+        self.stats = CoreStats()
+        self.record_log = record_log
+        self.op_log: List[MemOpRecord] = []
+        self._on_all_done = on_all_done
+        self._rr_next = 0
+        self._tick_scheduled = False
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach_l1(self, l1) -> None:
+        self.l1 = l1
+
+    def start(self) -> None:
+        if self.l1 is None:
+            raise SimulationError(f"core {self.core_id} has no L1 attached")
+        self._schedule_tick(self.engine.now)
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    # ------------------------------------------------------------------
+    # Tick / issue stage
+    # ------------------------------------------------------------------
+    def _schedule_tick(self, cycle: int) -> None:
+        if not self._tick_scheduled and not self._finished:
+            self._tick_scheduled = True
+            self.engine.schedule(cycle, self._tick)
+
+    def wake(self) -> None:
+        """Called by memory responses / compute completions / timers."""
+        self._schedule_tick(self.engine.now)
+
+    def _tick(self) -> None:
+        self._tick_scheduled = False
+        if self._finished:
+            return
+        now = self.engine.now
+        issued = False
+        more_ready = False
+        n = len(self.warps)
+        for i in range(n):
+            warp = self.warps[(self._rr_next + i) % n]
+            ready = self._consider(warp, now, can_issue=not issued)
+            if ready == "issued":
+                issued = True
+                self._rr_next = (self._rr_next + i + 1) % n
+            elif ready == "ready":
+                more_ready = True
+        self._check_done(now)
+        if self._finished:
+            return
+        if issued or more_ready:
+            self._schedule_tick(now + 1)
+
+    def _consider(self, warp: Warp, now: int, can_issue: bool) -> str:
+        """Examine one warp; returns 'issued', 'ready', or 'blocked'."""
+        if warp.done:
+            return "blocked"
+        if warp.busy_until > now or warp.at_barrier is not None:
+            return "blocked"
+        op = warp.next_op()
+        kind = op.kind
+
+        if kind is MemOpKind.COMPUTE:
+            if not can_issue:
+                return "ready"
+            warp.pc += 1
+            warp.busy_until = now + op.cycles
+            self.stats.issued_instructions += 1
+            self.engine.schedule(warp.busy_until, self.wake)
+            return "issued"
+
+        if kind is MemOpKind.BARRIER:
+            if not can_issue:
+                return "ready"
+            warp.pc += 1
+            warp.at_barrier = op.barrier_id
+            self.stats.issued_instructions += 1
+            self._maybe_release_barrier(op.barrier_id)
+            return "issued"
+
+        if kind is MemOpKind.FENCE:
+            return self._consider_fence(warp, now, can_issue)
+
+        # Global memory op: gate through the consistency policy.
+        ok, blocker = self.policy.can_issue_mem(warp)
+        if not ok:
+            if warp.stall_start is None:
+                warp.stall_start = now
+                warp.stall_blocker = blocker.kind if blocker else None
+            return "blocked"
+        if not can_issue:
+            return "ready"
+        return self._issue_mem(warp, now)
+
+    def _consider_fence(self, warp: Warp, now: int, can_issue: bool) -> str:
+        if not warp.fence_pending:
+            warp.fence_pending = True
+            warp.stall_start = now
+            self.stats.fence_ops += 1
+        if not self.policy.fence_done(warp):
+            return "blocked"  # waiting for outstanding accesses to drain
+        block_until = self.l1.fence_block_until(warp)
+        if block_until > now:
+            # Protocol-imposed visibility wait (TC-weak's GWCT).
+            warp.busy_until = block_until
+            self.engine.schedule(block_until, self.wake)
+            return "blocked"
+        if not can_issue:
+            return "ready"
+        # Fence retires.
+        if warp.stall_start is not None:
+            self.stats.fence_wait_cycles += now - warp.stall_start
+            warp.stall_start = None
+        warp.fence_pending = False
+        warp.pc += 1
+        self.stats.issued_instructions += 1
+        self.l1.on_fence_retire(warp)
+        return "issued"
+
+    def _issue_mem(self, warp: Warp, now: int) -> str:
+        op = warp.next_op()
+        record = MemOpRecord(op.kind, op.addr, self.core_id, warp.warp_id,
+                             warp.pc)
+        record.issue_cycle = now
+        if op.kind.is_write:
+            record.value = (self.core_id, warp.warp_id, record.seq)
+        outcome = self.l1.access(record, warp)
+        if outcome is AccessOutcome.STALL:
+            # Structural stall (MSHR full, set conflict); retry, don't
+            # consume the issue slot or advance the pc.
+            self.stats.structural_stalls += 1
+            return "blocked"
+        # Issued: close out any SC-stall interval for this op.
+        if warp.stall_start is not None:
+            stall = now - warp.stall_start
+            if stall > 0 and warp.stall_blocker is not None:
+                record.sc_stalled = True
+                record.sc_stall_cycles = stall
+                record.sc_stall_blocker = warp.stall_blocker
+                self.stats.sc_stalled_ops += 1
+                self.stats.sc_stall_cycles += stall
+                self.stats.sc_stall_by_blocker[warp.stall_blocker] += stall
+            warp.stall_start = None
+            warp.stall_blocker = None
+        warp.pc += 1
+        warp.outstanding.append(record)
+        self.stats.issued_instructions += 1
+        self.stats.mem_ops += 1
+        self.stats.mem_ops_by_kind[op.kind] += 1
+        return "issued"
+
+    # ------------------------------------------------------------------
+    # Completion paths
+    # ------------------------------------------------------------------
+    def mem_op_done(self, record: MemOpRecord, warp: Warp) -> None:
+        """Called by the L1 controller when a memory op completes."""
+        record.complete_cycle = self.engine.now
+        try:
+            warp.outstanding.remove(record)
+        except ValueError:
+            raise SimulationError(f"completion for op not outstanding: {record!r}")
+        self.stats.latency_sum[record.kind] += record.latency
+        self.stats.latency_hist[record.kind].add(record.latency)
+        if self.record_log:
+            self.op_log.append(record)
+        self.wake()
+
+    # ------------------------------------------------------------------
+    # Barrier unit (workgroup == core in this model)
+    # ------------------------------------------------------------------
+    def _maybe_release_barrier(self, barrier_id: int) -> None:
+        for w in self.warps:
+            if w.done:
+                continue
+            if w.at_barrier != barrier_id:
+                return  # someone has not arrived yet
+        for w in self.warps:
+            w.at_barrier = None
+
+    # ------------------------------------------------------------------
+    def _check_done(self, now: int) -> None:
+        if self._finished:
+            return
+        for w in self.warps:
+            if not w.done or w.outstanding or w.fence_pending:
+                return
+        self._finished = True
+        self.stats.done_cycle = now
+        for w in self.warps:
+            w.done_cycle = now
+        if self._on_all_done is not None:
+            self._on_all_done(self.core_id)

@@ -1,0 +1,16 @@
+"""Experiment harness: one entry per paper table/figure.
+
+Each ``fig*``/``table*`` function runs the required simulations and returns
+an :class:`~repro.harness.experiments.ExperimentResult` whose rows mirror
+what the paper plots; ``repro.harness.runner`` provides the CLI
+(``rcc-repro <experiment>``), and ``benchmarks/`` wraps the same functions
+in pytest-benchmark with shape assertions.
+"""
+
+from repro.harness.experiments import (
+    ExperimentResult,
+    Harness,
+    ALL_EXPERIMENTS,
+)
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "Harness"]

@@ -1,0 +1,88 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    rcc-repro fig9                 # one experiment
+    rcc-repro all                  # everything
+    rcc-repro all --report out.md  # also write a markdown report
+    rcc-repro fig9 --intensity 0.5 --seed 7
+
+``--quick`` runs a reduced intensity for smoke testing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.config import GPUConfig
+from repro.harness.experiments import ALL_EXPERIMENTS, Harness
+from repro.harness.tables import render_markdown
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="rcc-repro",
+        description="Regenerate tables/figures from 'Efficient Sequential "
+                    "Consistency in GPUs via Relativistic Cache Coherence' "
+                    "(HPCA 2017).")
+    p.add_argument("experiments", nargs="+",
+                   help=f"experiment ids ({', '.join(ALL_EXPERIMENTS)}) "
+                        "or 'all'")
+    p.add_argument("--intensity", type=float, default=0.25,
+                   help="workload scale factor (default 0.25)")
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--quick", action="store_true",
+                   help="tiny workloads for a fast smoke run")
+    p.add_argument("--paper-config", action="store_true",
+                   help="use the full Table III machine (16 SMs x 48 warps; "
+                        "slow in this Python simulator)")
+    p.add_argument("--report", metavar="FILE",
+                   help="also write a markdown report to FILE")
+    return p
+
+
+def select(names: List[str]) -> List[str]:
+    if "all" in names:
+        return list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiment(s): {unknown}; "
+                         f"choose from {list(ALL_EXPERIMENTS)} or 'all'")
+    return names
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    cfg = GPUConfig.paper() if args.paper_config else GPUConfig.bench()
+    intensity = 0.1 if args.quick else args.intensity
+    harness = Harness(cfg=cfg, intensity=intensity, seed=args.seed)
+
+    report_parts = []
+    for name in select(args.experiments):
+        start = time.time()
+        result = getattr(harness, ALL_EXPERIMENTS[name])()
+        elapsed = time.time() - start
+        print(result.render())
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print()
+        if args.report:
+            report_parts.append(f"## {result.title}\n")
+            report_parts.append(render_markdown(result.columns, result.rows))
+            if result.claims:
+                report_parts.append("\n**Paper vs measured:**\n")
+                for desc, (paper, measured) in result.claims.items():
+                    report_parts.append(
+                        f"- {desc}: paper *{paper}*, measured *{measured}*")
+            report_parts.append("")
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write("\n".join(report_parts))
+        print(f"report written to {args.report}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def render_table(columns: Sequence[str], rows: List[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an ASCII table with aligned columns."""
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(columns))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def render_markdown(columns: Sequence[str], rows: List[Sequence[Any]]) -> str:
+    """Render a GitHub-markdown table."""
+    out = ["| " + " | ".join(columns) + " |",
+           "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(out)

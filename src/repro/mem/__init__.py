@@ -1,0 +1,7 @@
+"""Memory-system substrates: cache arrays, MSHRs, and the DRAM model."""
+
+from repro.mem.cache_array import CacheArray, CacheLine
+from repro.mem.mshr import MSHRFile, MSHREntry
+from repro.mem.dram import DRAMPartition
+
+__all__ = ["CacheArray", "CacheLine", "MSHRFile", "MSHREntry", "DRAMPartition"]

@@ -1,0 +1,6 @@
+"""On-chip interconnect: flit-based crossbar and energy model."""
+
+from repro.noc.crossbar import Crossbar, TrafficStats
+from repro.noc.energy import EnergyModel, EnergyBreakdown
+
+__all__ = ["Crossbar", "TrafficStats", "EnergyModel", "EnergyBreakdown"]

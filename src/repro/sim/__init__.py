@@ -1,0 +1,7 @@
+"""Top-level simulator: wires cores, caches, NoC, and DRAM, runs a workload
+under a protocol, and aggregates results."""
+
+from repro.sim.gpusim import GPUSimulator, run_simulation
+from repro.sim.results import SimResult
+
+__all__ = ["GPUSimulator", "SimResult", "run_simulation"]

@@ -1,0 +1,8 @@
+"""Measurement utilities: histograms, time-series samplers, and run
+comparison helpers used by the harness and available to downstream users."""
+
+from repro.stats.histogram import Histogram
+from repro.stats.timeseries import TimeSeries
+from repro.stats.compare import compare_runs, speedup_table
+
+__all__ = ["Histogram", "TimeSeries", "compare_runs", "speedup_table"]

@@ -1,0 +1,53 @@
+"""Run-comparison helpers: normalize a set of SimResults against a
+baseline, the way every figure in the paper is plotted."""
+
+from __future__ import annotations
+
+from statistics import geometric_mean
+from typing import Dict, Iterable, List, Sequence
+
+from repro.sim.results import SimResult
+
+
+def compare_runs(results: Sequence[SimResult],
+                 baseline_protocol: str = "MESI") -> Dict[str, Dict[str, float]]:
+    """Normalize each run against the baseline run of the same workload.
+
+    Returns ``{protocol: {metric: normalized value}}`` with speedup,
+    energy, and traffic ratios (baseline == 1.0 by construction).
+    """
+    by_key = {(r.protocol, r.workload): r for r in results}
+    workloads = sorted({r.workload for r in results})
+    protocols = sorted({r.protocol for r in results})
+    out: Dict[str, Dict[str, float]] = {}
+    for p in protocols:
+        speed, energy, traffic = [], [], []
+        for w in workloads:
+            base = by_key.get((baseline_protocol, w))
+            run = by_key.get((p, w))
+            if base is None or run is None:
+                continue
+            speed.append(base.cycles / run.cycles)
+            energy.append(run.energy.total / base.energy.total)
+            traffic.append(run.total_flits / max(1, base.total_flits))
+        if speed:
+            out[p] = {
+                "speedup": geometric_mean(speed),
+                "energy": geometric_mean(energy),
+                "traffic": geometric_mean(traffic),
+            }
+    return out
+
+
+def speedup_table(results: Sequence[SimResult],
+                  baseline_protocol: str = "MESI") -> List[List[str]]:
+    """Rows of (workload, protocol, speedup) ready for render_table."""
+    by_key = {(r.protocol, r.workload): r for r in results}
+    rows: List[List[str]] = []
+    for (p, w), run in sorted(by_key.items(), key=lambda kv: (kv[0][1],
+                                                              kv[0][0])):
+        base = by_key.get((baseline_protocol, w))
+        if base is None:
+            continue
+        rows.append([w, p, f"{base.cycles / run.cycles:.2f}x"])
+    return rows

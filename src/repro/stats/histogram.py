@@ -1,0 +1,95 @@
+"""Log-bucketed latency histograms.
+
+Memory latencies in a GPU span three orders of magnitude (L1 hit ~1 cycle,
+DRAM round trip ~1000), so fixed-width bins are useless; this histogram
+buckets by powers of two and reports percentiles by linear interpolation
+inside a bucket — cheap enough to keep one per (op kind) per run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class Histogram:
+    """Power-of-two-bucketed histogram of non-negative integers."""
+
+    def __init__(self, max_value: int = 1 << 24):
+        self.max_value = max_value
+        n_buckets = max_value.bit_length() + 1
+        self._buckets: List[int] = [0] * n_buckets
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    @staticmethod
+    def _bucket_of(value: int) -> int:
+        return value.bit_length()  # 0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3 ...
+
+    def add(self, value: int, count: int = 1) -> None:
+        if value < 0:
+            raise ValueError(f"negative sample: {value}")
+        value = min(value, self.max_value)
+        self._buckets[self._bucket_of(value)] += count
+        self.count += count
+        self.total += value * count
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (0 < p <= 100)."""
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        if self.count == 0:
+            return 0.0
+        target = self.count * p / 100.0
+        seen = 0
+        for i, n in enumerate(self._buckets):
+            if n == 0:
+                continue
+            if seen + n >= target:
+                lo = 0 if i == 0 else 1 << (i - 1)
+                hi = 0 if i == 0 else (1 << i) - 1
+                frac = (target - seen) / n
+                return lo + frac * (hi - lo)
+            seen += n
+        return float(self.max or 0)
+
+    def buckets(self) -> List[Tuple[int, int, int]]:
+        """Non-empty buckets as (low, high, count)."""
+        out = []
+        for i, n in enumerate(self._buckets):
+            if n:
+                lo = 0 if i == 0 else 1 << (i - 1)
+                hi = 0 if i == 0 else (1 << i) - 1
+                out.append((lo, hi, n))
+        return out
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram into this one (per-core -> global)."""
+        for i, n in enumerate(other._buckets):
+            if i < len(self._buckets):
+                self._buckets[i] += n
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.min, other.max):
+            if bound is not None:
+                self.min = bound if self.min is None else min(self.min, bound)
+                self.max = bound if self.max is None else max(self.max, bound)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 2),
+            "p50": round(self.percentile(50), 1),
+            "p90": round(self.percentile(90), 1),
+            "p99": round(self.percentile(99), 1),
+            "min": self.min or 0,
+            "max": self.max or 0,
+        }

@@ -1,0 +1,138 @@
+"""Cycle-accurate discrete-event simulation engine.
+
+The engine keeps a priority queue of ``(cycle, sequence, callback)`` events.
+Events scheduled for the same cycle fire in scheduling order, which makes
+every simulation fully deterministic: two runs with the same configuration
+and workload produce bit-identical statistics.
+
+Components never spin on cycles they have nothing to do in; each schedules
+the next event it cares about. GPU cores schedule one event per active cycle
+(they model an issue stage) but go idle when every warp is blocked, and are
+woken by memory responses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+
+Callback = Callable[[], None]
+
+
+class Event:
+    """Handle for a scheduled event; lets the scheduler cancel it."""
+
+    __slots__ = ("cycle", "seq", "callback", "cancelled")
+
+    def __init__(self, cycle: int, seq: int, callback: Callback):
+        self.cycle = cycle
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (it stays in the heap, skipped)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.cycle, self.seq) < (other.cycle, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self.cancelled else ""
+        return f"<Event @{self.cycle} #{self.seq}{flag}>"
+
+
+class Engine:
+    """A deterministic discrete-event simulator clock.
+
+    >>> eng = Engine()
+    >>> fired = []
+    >>> _ = eng.schedule(5, lambda: fired.append(eng.now))
+    >>> eng.run()
+    >>> fired
+    [5]
+    """
+
+    def __init__(self, max_cycles: int = 500_000_000):
+        self.now: int = 0
+        self.max_cycles = max_cycles
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._events_fired = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, cycle: int, callback: Callback) -> Event:
+        """Schedule ``callback`` to fire at absolute ``cycle``."""
+        if cycle < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past (now={self.now}, at={cycle})"
+            )
+        self._seq += 1
+        ev = Event(cycle, self._seq, callback)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_in(self, delay: int, callback: Callback) -> Event:
+        """Schedule ``callback`` to fire ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule(self.now + delay, callback)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Stop the run loop after the current event returns."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Fire the next pending event. Returns False when none remain."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            if ev.cycle > self.max_cycles:
+                raise DeadlockError(
+                    self.now,
+                    f"event horizon exceeded max_cycles={self.max_cycles}; "
+                    "likely livelock or runaway simulation",
+                )
+            self.now = ev.cycle
+            ev.callback()
+            self._events_fired += 1
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the event queue drains, ``stop()``, or cycle ``until``."""
+        self._stopped = False
+        while not self._stopped:
+            if until is not None and self.peek() is not None and self.peek() > until:
+                self.now = until
+                return
+            if not self.step():
+                return
+
+    def peek(self) -> Optional[int]:
+        """Cycle of the next live event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].cycle if self._heap else None
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    def snapshot(self) -> Tuple[int, int, int]:
+        """(now, events_fired, pending) — used by progress watchdogs."""
+        return (self.now, self._events_fired, self.pending)

@@ -1,0 +1,34 @@
+"""Synthetic workload generators modelling the paper's twelve benchmarks.
+
+The paper evaluates six benchmarks with **inter-workgroup** sharing (they
+communicate across SMs through the L2 and rely on coherence: BH, BFS, CL,
+DLB, STN, VPR) and six with only **intra-workgroup** sharing (HSP, KMN,
+LPS, NDL, SR, LUD; they run correctly without coherence and quantify the
+overhead of always-on coherence).
+
+We do not have the CUDA sources or a SASS front-end, so each generator
+reproduces the benchmark's *sharing pattern* — who writes what that whom
+re-reads, with what locality, synchronization, and op mix — which is what
+drives every effect the paper measures. Generators are deterministic under
+a seed.
+"""
+
+from repro.workloads.base import Workload, TraceBuilder
+from repro.workloads.registry import (
+    WORKLOADS,
+    get_workload,
+    inter_workgroup,
+    intra_workgroup,
+)
+from repro.workloads.tracefile import load_traces, save_traces
+
+__all__ = [
+    "TraceBuilder",
+    "WORKLOADS",
+    "Workload",
+    "get_workload",
+    "inter_workgroup",
+    "intra_workgroup",
+    "load_traces",
+    "save_traces",
+]

@@ -1,0 +1,11 @@
+"""Inter-workgroup-sharing benchmark models (paper Table IV, top half)."""
+
+from repro.workloads.interwg.bh import BarnesHut
+from repro.workloads.interwg.bfs import BFS
+from repro.workloads.interwg.cl import Cloth
+from repro.workloads.interwg.dlb import DynamicLoadBalance
+from repro.workloads.interwg.stn import Stencil
+from repro.workloads.interwg.vpr import PlaceAndRoute
+
+__all__ = ["BFS", "BarnesHut", "Cloth", "DynamicLoadBalance",
+           "PlaceAndRoute", "Stencil"]

@@ -1,0 +1,50 @@
+"""BFS — level-synchronized breadth-first search (Bakhoda et al.).
+
+Sharing pattern: all threads share a frontier "mask" vector identifying the
+nodes to visit in the next level; every level, warps on every SM read
+scattered mask blocks and write scattered mask blocks for their neighbors.
+This is the workload the paper uses to explain TC-weak's advantage: cores
+update disjoint words of shared mask blocks, so relaxing write atomicity
+(TCW) wins, while SC protocols pay for block-granularity ordering.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder, Workload
+
+MASK_BASE = 1 << 16        # shared frontier mask vector
+MASK_BLOCKS = 384
+LEVEL_BASE = 1 << 18       # per-level frontier counters (hot, atomic)
+
+
+class BFS(Workload):
+    name = "bfs"
+    category = "inter"
+    description = "Level-synchronized BFS: shared frontier mask, scattered RW"
+    base_iterations = 12   # graph levels
+
+    reads_per_level = 5
+    writes_per_level = 3
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        adj = MASK_BASE + (1 << 10)  # read-only adjacency lists (CSR arrays)
+        for level in range(self.iterations()):
+            for _ in range(self.reads_per_level):
+                # Check the current frontier: scattered shared reads.
+                b.load(MASK_BASE + rng.randrange(MASK_BLOCKS))
+                # Walk the node's edge list: read-only graph structure.
+                b.load(adj + rng.randrange(MASK_BLOCKS))
+                b.compute(6)
+            for _ in range(self.writes_per_level):
+                # Mark neighbors for the next level: scattered shared writes.
+                b.store(MASK_BASE + rng.randrange(MASK_BLOCKS))
+                b.compute(4)
+            # Count discovered nodes for this level (hot shared counter).
+            b.atomic(LEVEL_BASE + level % 4)
+            b.fence()
+            # Kernel relaunch between levels.
+            b.barrier(level)

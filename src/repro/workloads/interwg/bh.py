@@ -1,0 +1,57 @@
+"""BH — Barnes-Hut n-body tree traversal (Burtscher & Pingali).
+
+Sharing pattern: a read-mostly octree whose top levels are read by every
+warp on every traversal (hot, highly shared, rarely written), plus atomic
+child-pointer insertions that occasionally write those same shared nodes.
+Body data is private to each warp. The shared-read/rare-write mix is what
+gives timestamp protocols their renewable leases, while the atomic updates
+to hot tree nodes force coherence activity across every SM.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder, Workload
+
+TREE_BASE = 1 << 16        # shared octree nodes
+TREE_BLOCKS = 192
+BODY_BASE = 1 << 18        # per-warp private bodies
+
+
+class BarnesHut(Workload):
+    name = "bh"
+    category = "inter"
+    description = "Barnes-Hut n-body: shared read-mostly tree + atomic inserts"
+    base_iterations = 36
+
+    #: Traversal depth (tree-node loads per body).
+    depth = 5
+    #: One atomic tree insertion every this many bodies.
+    insert_every = 8
+
+    def _tree_node(self, rng: random.Random) -> int:
+        # Bias toward low indices: the tree's top levels are hottest.
+        return TREE_BASE + int(TREE_BLOCKS * (rng.random() ** 3))
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        my_bodies = BODY_BASE + (b.trace.core_id * cfg.warps_per_core
+                                 + b.trace.warp_id) * 8
+        for i in range(self.iterations()):
+            # Walk the tree from the root: shared read path.
+            for _ in range(self.depth):
+                b.load(self._tree_node(rng))
+                b.compute(4)
+            # Update this body: private read-modify-write.
+            body = my_bodies + (i % 8)
+            b.load(body)
+            b.compute(8)
+            b.load(body)    # position + velocity: two loads, one line
+            b.compute(8)
+            b.store(body)
+            if i % self.insert_every == self.insert_every - 1:
+                # Tree insertion: atomic CAS on a (hot) shared node.
+                b.atomic(self._tree_node(rng))
+                b.fence()

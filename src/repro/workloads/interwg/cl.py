@@ -1,0 +1,57 @@
+"""CL — cloth-physics kernel (RopaDemo, Brownsword GDC'09).
+
+Sharing pattern: a particle array partitioned across SMs; each phase, every
+warp reads its own tile plus *halo* particles owned by the neighboring SMs
+(written there during the previous phase) and writes back its own tile.
+Classic producer-consumer sharing across workgroup boundaries, phase-
+separated by barriers and a shared phase counter.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder, Workload
+
+PART_BASE = 1 << 16        # particle array, partitioned per core
+TILE_BLOCKS = 48           # blocks owned by each core
+PHASE_BASE = 1 << 19       # shared phase counters
+
+
+class Cloth(Workload):
+    name = "cl"
+    category = "inter"
+    description = "Cloth physics: tiled particles with cross-SM halo reads"
+    base_iterations = 14   # physics phases
+
+    own_reads = 4
+    halo_reads = 2
+    own_writes = 2
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        core = b.trace.core_id
+        my_tile = PART_BASE + core * TILE_BLOCKS
+        left = PART_BASE + ((core - 1) % cfg.n_cores) * TILE_BLOCKS
+        right = PART_BASE + ((core + 1) % cfg.n_cores) * TILE_BLOCKS
+        # Each warp works a slice of the core's tile.
+        slice_lo = (b.trace.warp_id * TILE_BLOCKS) // cfg.warps_per_core
+
+        for phase in range(self.iterations()):
+            for r in range(self.own_reads):
+                b.load(my_tile + (slice_lo + r + phase) % TILE_BLOCKS)
+                b.compute(5)
+            # Halo particles: the neighbors' boundary blocks (they stored
+            # them last phase -> genuine inter-workgroup RW sharing).
+            b.load(left + TILE_BLOCKS - 1 - (phase % 4))
+            b.load(right + (phase % 4))
+            b.compute(12)
+            b.load(my_tile + (slice_lo + phase) % TILE_BLOCKS)  # revisit
+            b.compute(12)
+            for w in range(self.own_writes):
+                b.store(my_tile + (slice_lo + w + phase) % TILE_BLOCKS)
+            # Phase synchronization: shared counter + local barrier.
+            b.atomic(PHASE_BASE + (phase % 2))
+            b.fence()
+            b.barrier(phase)

@@ -1,0 +1,67 @@
+"""DLB — dynamic load balancing via work stealing (Cederman & Tsigas).
+
+Sharing pattern: each workgroup owns a task deque (control block + task
+blocks) that it mostly accesses alone — but because *any* workgroup may
+steal at *any* time, every queue operation must be fenced. Actual steals
+are rare.
+
+This is the workload the paper uses to explain RCC's advantage over
+TC-weak: TCW stalls every fence until all prior stores are globally visible
+in physical time, even though stealing (actual sharing) almost never
+happens; RCC lets cores run in their own logical epochs until real sharing
+occurs, and its stores never stall even then.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder, Workload
+
+QUEUE_BASE = 1 << 16       # per-core deque control blocks
+TASKS_PER_CORE = 16
+TASK_BASE = 1 << 17        # per-core task storage
+RESULT_BASE = 1 << 19      # per-warp private results
+
+
+class DynamicLoadBalance(Workload):
+    name = "dlb"
+    category = "inter"
+    description = "Work-stealing deques: fenced queue ops, rare steals"
+    base_iterations = 30
+
+    steal_probability = 0.05
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        core = b.trace.core_id
+        my_queue = QUEUE_BASE + core
+        my_tasks = TASK_BASE + core * TASKS_PER_CORE
+        my_results = RESULT_BASE + (core * cfg.warps_per_core
+                                    + b.trace.warp_id) * 4
+
+        for i in range(self.iterations()):
+            steal = rng.random() < self.steal_probability
+            if steal and cfg.n_cores > 1:
+                victim = rng.randrange(cfg.n_cores - 1)
+                victim = victim + 1 if victim >= core else victim
+                # Pop from the victim's deque: atomic on their control
+                # block, then read their task data.
+                b.atomic(QUEUE_BASE + victim)
+                b.fence()
+                b.load(TASK_BASE + victim * TASKS_PER_CORE
+                       + rng.randrange(TASKS_PER_CORE))
+            else:
+                # Pop from our own deque (still must be fenced!).
+                b.atomic(my_queue)
+                b.fence()
+                b.load(my_tasks + rng.randrange(TASKS_PER_CORE))
+            b.compute(32)
+            # Produce a result and possibly push new work.
+            b.store(my_results + (i % 4))
+            if i % 4 == 0:
+                b.store(my_tasks + rng.randrange(TASKS_PER_CORE))
+                b.fence()
+                b.atomic(my_queue)
+                b.fence()

@@ -1,0 +1,58 @@
+"""STN — finite-difference stencil with fast inter-block barriers
+(Xiao & Feng IPDPS'10).
+
+Sharing pattern: the grid is split into per-SM row bands; each sweep reads
+the band plus halo rows owned by adjacent SMs and writes the band interior,
+then synchronizes *across SMs* with an atomic-flag "fast barrier" — the
+hot barrier block is written by every SM every sweep.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder, Workload
+
+GRID_BASE = 1 << 16
+BAND_BLOCKS = 40           # grid blocks per core band
+FLAG_BASE = 1 << 19        # inter-block barrier flags
+
+
+class Stencil(Workload):
+    name = "stn"
+    category = "inter"
+    description = "Stencil sweeps with atomic-flag inter-SM barriers"
+    base_iterations = 12   # sweeps
+
+    own_reads = 4
+    own_writes = 2
+    spin_reads = 2
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        core = b.trace.core_id
+        band = GRID_BASE + core * BAND_BLOCKS
+        up = GRID_BASE + ((core - 1) % cfg.n_cores) * BAND_BLOCKS
+        down = GRID_BASE + ((core + 1) % cfg.n_cores) * BAND_BLOCKS
+        slice_lo = (b.trace.warp_id * BAND_BLOCKS) // cfg.warps_per_core
+
+        for sweep in range(self.iterations()):
+            for r in range(self.own_reads):
+                b.load(band + (slice_lo + r + sweep) % BAND_BLOCKS)
+                b.compute(5)
+            # Halo rows from the neighboring SMs' bands.
+            b.load(up + BAND_BLOCKS - 1)
+            b.load(down)
+            b.compute(10)
+            b.load(band + (slice_lo + sweep) % BAND_BLOCKS)  # revisit
+            b.compute(10)
+            for w in range(self.own_writes):
+                b.store(band + (slice_lo + w + sweep) % BAND_BLOCKS)
+            b.fence()
+            # Fast barrier: signal arrival, then poll the flag block.
+            b.atomic(FLAG_BASE + sweep % 4)
+            for _ in range(self.spin_reads):
+                b.load(FLAG_BASE + sweep % 4)
+                b.compute(8)
+            b.barrier(sweep)

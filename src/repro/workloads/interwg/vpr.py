@@ -1,0 +1,50 @@
+"""VPR — FPGA place & route (the VTR project).
+
+Sharing pattern: a large shared routing-cost grid updated with fine-grained,
+low-locality read-modify-writes under per-region locks. Every SM touches
+random grid regions, so nearly every store hits data some other SM recently
+read — the worst case for invalidation (MESI) and lease-expiry (TCS) store
+latencies, and the pattern where RCC's instant write permissions matter
+most.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder, Workload
+
+GRID_BASE = 1 << 16        # shared routing-cost grid
+GRID_BLOCKS = 512
+LOCK_BASE = 1 << 19        # region locks
+LOCKS = 48
+
+
+class PlaceAndRoute(Workload):
+    name = "vpr"
+    category = "inter"
+    description = "Place & route: random fine-grained RW on a shared grid"
+    base_iterations = 22
+
+    route_reads = 4
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        for i in range(self.iterations()):
+            # Evaluate a candidate route: scattered shared reads.
+            for _ in range(self.route_reads):
+                b.load(GRID_BASE + rng.randrange(GRID_BLOCKS))
+                b.compute(5)
+            b.compute(12)
+            # Commit the best move under a region lock.
+            region = rng.randrange(LOCKS)
+            b.atomic(LOCK_BASE + region)       # acquire
+            b.fence()
+            target = GRID_BASE + rng.randrange(GRID_BLOCKS)
+            b.load(target)
+            b.compute(6)
+            b.store(target)                    # shared grid write
+            b.fence()
+            b.atomic(LOCK_BASE + region)       # release
+            b.fence()

@@ -1,0 +1,17 @@
+"""Intra-workgroup benchmark models (paper Table IV, bottom half).
+
+These execute correctly without any inter-SM coherence: every address is
+private to one SM (shared at most between warps of the same workgroup).
+They measure the *overhead* of always-on coherence on conventional GPU
+workloads — Fig. 9's right-hand panels.
+"""
+
+from repro.workloads.intrawg.hsp import Hotspot
+from repro.workloads.intrawg.kmn import KMeans
+from repro.workloads.intrawg.lps import Laplace3D
+from repro.workloads.intrawg.ndl import NeedlemanWunsch
+from repro.workloads.intrawg.sr import SpeckleReduction
+from repro.workloads.intrawg.lud import LUDecomposition
+
+__all__ = ["Hotspot", "KMeans", "LUDecomposition", "Laplace3D",
+           "NeedlemanWunsch", "SpeckleReduction"]

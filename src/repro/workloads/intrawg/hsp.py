@@ -1,0 +1,52 @@
+"""HSP — HotSpot 2-D thermal simulation (Rodinia).
+
+Tiled 2-D stencil: each workgroup iterates on its own tile; warps read
+their rows plus in-tile neighbors (written by sibling warps of the *same*
+SM last iteration) and write their rows back, synchronizing with workgroup
+barriers. All sharing is intra-SM.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder, Workload
+
+TILE_BASE = 1 << 16
+TILE_BLOCKS = 48           # blocks per core tile
+CORE_STRIDE = 1 << 10      # keep core regions far apart
+POWER_BASE = 1 << 22       # read-only power-dissipation input grid
+
+
+class Hotspot(Workload):
+    name = "hsp"
+    category = "intra"
+    description = "HotSpot: per-SM tiled 2-D stencil with workgroup barriers"
+    base_iterations = 16
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        tile = TILE_BASE + b.trace.core_id * CORE_STRIDE
+        rows = max(1, TILE_BLOCKS // cfg.warps_per_core)
+        my_row = (b.trace.warp_id * rows) % TILE_BLOCKS
+
+        power = POWER_BASE + b.trace.core_id * CORE_STRIDE
+        for it in range(self.iterations()):
+            # Double-buffered temperature grids: read this sweep's input
+            # buffer, write the output buffer (as the Rodinia kernel does) —
+            # stores land on blocks nobody holds a fresh lease on.
+            src = tile + (it % 2) * TILE_BLOCKS
+            dst = tile + ((it + 1) % 2) * TILE_BLOCKS
+            b.load(src + my_row)
+            b.load(src + (my_row - 1) % TILE_BLOCKS)  # sibling warp's row
+            b.load(src + (my_row + rows) % TILE_BLOCKS)
+            # The power-dissipation grid is a read-only kernel input.
+            b.load(power + my_row)
+            b.load(power + (my_row + 1) % TILE_BLOCKS)
+            b.compute(10)
+            # Second access to the row block (multiple loads per line).
+            b.load(src + my_row)
+            b.compute(8)
+            b.store(dst + my_row)
+            b.barrier(it)

@@ -1,0 +1,47 @@
+"""KMN — k-means clustering (Rodinia).
+
+Streaming: each SM scans its own slice of the point set (long sequential
+read streams with no reuse — the blocks that "miss in the L2" and should
+get maximal leases), accumulates into per-SM centroid blocks with atomics,
+and writes per-point assignments. No inter-SM sharing.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder, Workload
+
+POINTS_BASE = 1 << 16
+POINTS_PER_CORE = 1 << 10  # streaming region per core
+CENTROID_BASE = 1 << 20    # per-core accumulator blocks
+ASSIGN_BASE = 1 << 21
+
+
+class KMeans(Workload):
+    name = "kmn"
+    category = "intra"
+    description = "k-means: streaming reads, per-SM atomic accumulators"
+    base_iterations = 48   # points scanned per warp
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        core = b.trace.core_id
+        warp = b.trace.warp_id
+        my_points = POINTS_BASE + core * POINTS_PER_CORE
+        my_centroids = CENTROID_BASE + core * 8
+        my_assign = ASSIGN_BASE + (core * cfg.warps_per_core + warp) * 8
+
+        for i in range(self.iterations()):
+            # Stream the next point block: sequential, no reuse.
+            b.load(my_points + (warp * self.iterations() + i)
+                   % POINTS_PER_CORE)
+            b.compute(8)
+            b.load(my_points + (warp * self.iterations() + i)
+                   % POINTS_PER_CORE)  # second feature access, same line
+            b.compute(6)
+            # Accumulate into this SM's nearest centroid.
+            b.atomic(my_centroids + rng.randrange(8))
+            b.store(my_assign + (i % 8))
+            b.compute(6)

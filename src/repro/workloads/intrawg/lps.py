@@ -1,0 +1,51 @@
+"""LPS — 3-D Laplace solver (Bakhoda et al.).
+
+A 3-D stencil per SM: more neighbor reads per written point than HSP
+(6-point stencil) and a barrier per sweep. All sharing is intra-SM.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder, Workload
+
+VOL_BASE = 1 << 16
+PLANE = 8                   # blocks per z-plane slice
+PLANES = 6
+CORE_STRIDE = 1 << 10
+
+
+class Laplace3D(Workload):
+    name = "lps"
+    category = "intra"
+    description = "3-D Laplace: 6-point per-SM stencil, barrier per sweep"
+    base_iterations = 14
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        vol = VOL_BASE + b.trace.core_id * CORE_STRIDE
+        n_blocks = PLANE * PLANES
+        mine = (b.trace.warp_id * 3) % n_blocks
+
+        bc = vol + (1 << 8)  # read-only boundary-condition planes
+        for sweep in range(self.iterations()):
+            # Double-buffered volumes: sweep reads one buffer, writes the
+            # other (Jacobi iteration), swapping each sweep.
+            src = vol + (sweep % 2) * n_blocks
+            dst = vol + ((sweep + 1) % 2) * n_blocks
+            point = (mine + sweep) % n_blocks
+            b.load(src + point)
+            b.load(src + (point + 1) % n_blocks)      # x+1
+            b.load(src + (point - 1) % n_blocks)      # x-1
+            b.load(src + (point + PLANE) % n_blocks)  # z+1
+            b.load(src + (point - PLANE) % n_blocks)  # z-1
+            b.load(bc + mine % PLANE)                 # boundary input
+            b.load(bc + PLANE + (mine + sweep) % PLANE)
+            b.compute(12)
+            # Revisit the centre block (several loads land in one line).
+            b.load(src + point)
+            b.compute(10)
+            b.store(dst + point)
+            b.barrier(sweep)

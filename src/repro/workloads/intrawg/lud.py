@@ -1,0 +1,41 @@
+"""LUD — blocked LU decomposition (Rodinia).
+
+Per iteration, every warp of an SM reads the current pivot block (shared
+read within the workgroup), combines it with its own panel block, and
+writes the panel back, with a barrier per step. All sharing intra-SM.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder, Workload
+
+MAT_BASE = 1 << 16
+PANEL_BLOCKS = 56
+CORE_STRIDE = 1 << 10
+
+
+class LUDecomposition(Workload):
+    name = "lud"
+    category = "intra"
+    description = "Blocked LU: shared-in-SM pivot block + private panels"
+    base_iterations = 16
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        mat = MAT_BASE + b.trace.core_id * CORE_STRIDE
+        panel = (1 + b.trace.warp_id * 3) % PANEL_BLOCKS
+
+        for step in range(self.iterations()):
+            pivot = mat + (step % 8)          # hot within the SM
+            b.load(pivot)
+            mine = mat + 8 + (panel + step) % PANEL_BLOCKS
+            b.load(mine)
+            b.compute(12)
+            b.load(pivot)   # pivot block re-read during elimination
+            b.load(mine)
+            b.compute(14)
+            b.store(mine)
+            b.barrier(step)

@@ -1,0 +1,45 @@
+"""NDL — Needleman-Wunsch DNA sequence alignment (Rodinia).
+
+Wavefront dynamic programming over a score matrix: each anti-diagonal wave
+reads cells written by sibling warps in the previous wave (up / left /
+up-left) and writes its own cell, with a workgroup barrier per wave. The
+barrier-to-work ratio is the highest of the suite. All sharing intra-SM.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder, Workload
+
+MATRIX_BASE = 1 << 16
+MATRIX_BLOCKS = 4096       # large enough that each cell is written once
+CORE_STRIDE = 1 << 13
+
+
+class NeedlemanWunsch(Workload):
+    name = "ndl"
+    category = "intra"
+    description = "Needleman-Wunsch: wavefront DP, barrier every wave"
+    base_iterations = 20   # anti-diagonal waves
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        mat = MATRIX_BASE + b.trace.core_id * CORE_STRIDE
+        warp = b.trace.warp_id
+
+        ref = mat + MATRIX_BLOCKS  # read-only sequences + substitution table
+        for wave in range(self.iterations()):
+            cell = (warp + wave * cfg.warps_per_core) % MATRIX_BLOCKS
+            # Read the dependencies produced by the previous wave.
+            b.load(mat + (cell - 1) % MATRIX_BLOCKS)             # left
+            b.load(mat + (cell - cfg.warps_per_core) % MATRIX_BLOCKS)  # up
+            b.load(mat + (cell - cfg.warps_per_core - 1) % MATRIX_BLOCKS)
+            b.load(ref + cell % 8)        # sequence characters (read-only)
+            b.load(ref + 8 + wave % 4)    # substitution-matrix entries
+            b.compute(6)
+            b.load(mat + (cell - 1) % MATRIX_BLOCKS)  # left dep revisited
+            b.compute(4)
+            b.store(mat + cell)
+            b.barrier(wave)

@@ -1,0 +1,58 @@
+"""SR — SRAD speckle-reducing anisotropic diffusion (Rodinia).
+
+Two compute-heavy phases per iteration over per-SM image tiles: phase one
+computes diffusion coefficients from a 4-neighborhood, phase two applies
+the update; a workgroup barrier separates the phases. All sharing intra-SM.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder, Workload
+
+IMG_BASE = 1 << 16
+TILE_BLOCKS = 40
+COEF_BASE = 1 << 20
+CORE_STRIDE = 1 << 10
+
+
+class SpeckleReduction(Workload):
+    name = "sr"
+    category = "intra"
+    description = "SRAD: two-phase per-SM image diffusion, compute heavy"
+    base_iterations = 10
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        core = b.trace.core_id
+        img = IMG_BASE + core * CORE_STRIDE
+        coef = COEF_BASE + core * CORE_STRIDE
+        mine = (b.trace.warp_id * 2) % TILE_BLOCKS
+
+        neigh = img + (1 << 9)  # read-only precomputed neighbor-index tables
+        for it in range(self.iterations()):
+            # Double-buffered image; per-iteration coefficient scratch.
+            src = img + (it % 2) * TILE_BLOCKS
+            dst = img + ((it + 1) % 2) * TILE_BLOCKS
+            cwr = coef + (it % 2) * TILE_BLOCKS
+            # Phase 1: coefficients from the 4-neighborhood.
+            cell = (mine + it) % TILE_BLOCKS
+            b.load(src + cell)
+            b.load(src + (cell + 1) % TILE_BLOCKS)
+            b.load(src + (cell - 1) % TILE_BLOCKS)
+            b.load(src + (cell + 8) % TILE_BLOCKS)
+            b.load(neigh + cell % 8)      # iN/iS/jE/jW tables (read-only)
+            b.compute(16)
+            b.load(src + cell)            # centre block revisited
+            b.compute(14)
+            b.store(cwr + cell)
+            b.barrier(2 * it)
+            # Phase 2: apply the update.
+            b.load(cwr + cell)
+            b.load(cwr + (cell + 1) % TILE_BLOCKS)
+            b.load(neigh + 8 + cell % 8)
+            b.compute(26)
+            b.store(dst + cell)
+            b.barrier(2 * it + 1)

@@ -1,0 +1,53 @@
+"""Workload registry — names, categories, and lookup (paper Table IV)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.errors import ConfigError
+from repro.workloads.base import Workload
+from repro.workloads.interwg import (
+    BFS, BarnesHut, Cloth, DynamicLoadBalance, PlaceAndRoute, Stencil,
+)
+from repro.workloads.intrawg import (
+    Hotspot, KMeans, LUDecomposition, Laplace3D, NeedlemanWunsch,
+    SpeckleReduction,
+)
+
+#: All twelve benchmark models, in the paper's presentation order.
+WORKLOADS: Dict[str, Type[Workload]] = {
+    "bh": BarnesHut,
+    "bfs": BFS,
+    "cl": Cloth,
+    "dlb": DynamicLoadBalance,
+    "stn": Stencil,
+    "vpr": PlaceAndRoute,
+    "hsp": Hotspot,
+    "kmn": KMeans,
+    "lps": Laplace3D,
+    "ndl": NeedlemanWunsch,
+    "sr": SpeckleReduction,
+    "lud": LUDecomposition,
+}
+
+
+def get_workload(name: str, intensity: float = 1.0,
+                 seed: int = 1234) -> Workload:
+    """Instantiate a benchmark model by its Table IV short name."""
+    try:
+        cls = WORKLOADS[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+    return cls(intensity=intensity, seed=seed)
+
+
+def inter_workgroup() -> List[str]:
+    """Names of the inter-workgroup-sharing benchmarks."""
+    return [n for n, cls in WORKLOADS.items() if cls.category == "inter"]
+
+
+def intra_workgroup() -> List[str]:
+    """Names of the intra-workgroup benchmarks."""
+    return [n for n, cls in WORKLOADS.items() if cls.category == "intra"]

@@ -1,0 +1,79 @@
+"""Unit tests for the core-side consistency policies."""
+
+import pytest
+
+from repro.common.types import MemOpKind
+from repro.consistency.model import SCPolicy, WOPolicy, make_policy
+from repro.errors import ConfigError
+from repro.gpu.trace import WarpTrace, load_op
+from repro.gpu.warp import MemOpRecord, Warp
+
+
+def make_warp():
+    t = WarpTrace(0, 0)
+    t.extend([load_op(0)] * 4)
+    return Warp(t)
+
+
+def rec(kind=MemOpKind.LOAD):
+    return MemOpRecord(kind, 0, 0, 0, 0)
+
+
+class TestSCPolicy:
+    def test_allows_when_nothing_outstanding(self):
+        w = make_warp()
+        ok, blocker = SCPolicy().can_issue_mem(w)
+        assert ok and blocker is None
+
+    def test_blocks_on_outstanding_and_names_blocker(self):
+        w = make_warp()
+        blocking = rec(MemOpKind.STORE)
+        w.outstanding.append(blocking)
+        ok, blocker = SCPolicy().can_issue_mem(w)
+        assert not ok
+        assert blocker is blocking
+
+    def test_fence_always_done(self):
+        w = make_warp()
+        assert SCPolicy().fence_done(w)
+
+
+class TestWOPolicy:
+    def test_allows_multiple_outstanding(self):
+        w = make_warp()
+        p = WOPolicy(max_outstanding=3)
+        w.outstanding.extend([rec(), rec()])
+        ok, _ = p.can_issue_mem(w)
+        assert ok
+
+    def test_blocks_at_limit(self):
+        w = make_warp()
+        p = WOPolicy(max_outstanding=2)
+        w.outstanding.extend([rec(), rec()])
+        ok, blocker = p.can_issue_mem(w)
+        assert not ok
+        assert blocker is w.outstanding[0]
+
+    def test_fence_pending_blocks_mem(self):
+        w = make_warp()
+        w.fence_pending = True
+        ok, _ = WOPolicy().can_issue_mem(w)
+        assert not ok
+
+    def test_fence_done_requires_drain(self):
+        w = make_warp()
+        p = WOPolicy()
+        assert p.fence_done(w)
+        w.outstanding.append(rec())
+        assert not p.fence_done(w)
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ConfigError):
+            WOPolicy(max_outstanding=0)
+
+
+def test_make_policy():
+    assert isinstance(make_policy("sc"), SCPolicy)
+    assert isinstance(make_policy("wo", 4), WOPolicy)
+    with pytest.raises(ConfigError):
+        make_policy("tso")

@@ -1,0 +1,68 @@
+"""Tests for the exception hierarchy and miscellaneous invariants."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError, ConsistencyViolation, DeadlockError, ProtocolError,
+    ReproError, SimulationError, TraceError,
+)
+
+
+def test_hierarchy():
+    for exc in (ConfigError, ConsistencyViolation, DeadlockError,
+                ProtocolError, SimulationError, TraceError):
+        assert issubclass(exc, ReproError)
+    assert issubclass(DeadlockError, SimulationError)
+
+
+def test_deadlock_error_carries_cycle():
+    err = DeadlockError(123, "stuck cores")
+    assert err.cycle == 123
+    assert "123" in str(err)
+    assert "stuck cores" in str(err)
+
+
+def test_protocol_error_fields():
+    err = ProtocolError("L2[1]", "IAV", "GETS")
+    assert err.component == "L2[1]"
+    assert err.state == "IAV"
+    assert err.event == "GETS"
+
+
+def test_single_except_clause_catches_everything():
+    for exc in (ConfigError("x"), TraceError("y"), DeadlockError(1)):
+        try:
+            raise exc
+        except ReproError:
+            pass
+
+
+class TestPackageSurface:
+    def test_top_level_exports(self):
+        import repro
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_workloads_exports(self):
+        import repro.workloads as w
+        for name in w.__all__:
+            assert hasattr(w, name), name
+
+    def test_core_package_exports(self):
+        import repro.core as c
+        for name in c.__all__:
+            assert hasattr(c, name), name
+
+    def test_latency_histograms_in_results(self):
+        from repro.common.types import MemOpKind
+        from repro.config import GPUConfig
+        from repro.sim.gpusim import run_simulation
+        from repro.workloads import get_workload
+        cfg = GPUConfig.small()
+        wl = get_workload("dlb", intensity=0.15)
+        res = run_simulation(cfg, "RCC", wl.generate(cfg), "dlb")
+        hist = res.latency_hist[MemOpKind.LOAD]
+        assert hist.count == res.mem_ops_by_kind[MemOpKind.LOAD]
+        assert hist.mean == pytest.approx(res.avg_load_latency, rel=1e-6)
+        assert hist.percentile(99) >= hist.percentile(50)

@@ -1,0 +1,108 @@
+"""End-to-end integration tests: every protocol x several workloads, with
+SC verification where applicable and cross-protocol invariants."""
+
+import pytest
+
+from repro.common.types import MemOpKind
+from repro.config import GPUConfig
+from repro.consistency.checker import SCChecker
+from repro.sim.gpusim import run_simulation
+from repro.workloads import get_workload
+from tests.conftest import ALL_PROTOCOLS, SC_PROTOCOLS
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return GPUConfig.small()
+
+
+def run(cfg, protocol, wlname, intensity=0.2, seed=3, **kw):
+    wl = get_workload(wlname, intensity=intensity, seed=seed)
+    return run_simulation(cfg, protocol, wl.generate(cfg), wlname, **kw)
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+@pytest.mark.parametrize("wlname", ["dlb", "hsp"])
+def test_all_protocols_complete(cfg, protocol, wlname):
+    res = run(cfg, protocol, wlname)
+    assert res.cycles > 0
+    assert res.mem_ops > 0
+    assert res.total_flits > 0
+
+
+@pytest.mark.parametrize("protocol", SC_PROTOCOLS)
+@pytest.mark.parametrize("wlname", ["vpr", "stn", "bfs", "lud"])
+def test_sc_protocols_produce_sc_executions(cfg, protocol, wlname):
+    res = run(cfg, protocol, wlname, record_ops=True)
+    SCChecker().check_or_raise(res.op_logs)
+
+
+@pytest.mark.parametrize("wlname", ["dlb", "bh"])
+def test_same_workload_same_op_count_across_protocols(cfg, wlname):
+    counts = {p: run(cfg, p, wlname).mem_ops for p in ALL_PROTOCOLS}
+    assert len(set(counts.values())) == 1, counts
+
+
+def test_rcc_store_latency_beats_tcs_and_mesi_on_sharing(cfg):
+    lat = {p: run(cfg, p, "vpr", intensity=0.3).avg_store_latency
+           for p in ("RCC", "TCS", "MESI")}
+    assert lat["RCC"] < lat["TCS"]
+    assert lat["RCC"] < lat["MESI"]
+
+
+def test_intra_workloads_see_no_renew_need(cfg):
+    """Intra-workgroup benchmarks have near-zero coherence expirations
+    (paper Fig. 6: negligible for intra)."""
+    res = run(cfg, "RCC", "kmn", intensity=0.3)
+    assert res.l1_expired_fraction < 0.05
+
+
+def test_result_summary_dict(cfg):
+    res = run(cfg, "RCC", "dlb")
+    d = res.as_dict()
+    assert d["protocol"] == "RCC"
+    assert d["workload"] == "dlb"
+    assert d["cycles"] == res.cycles
+    assert 0 <= d["sc_stall_fraction"] <= 1
+
+
+def test_stats_internally_consistent(cfg):
+    res = run(cfg, "RCC", "stn", intensity=0.3)
+    assert res.l1_load_hits + res.l1_load_expired <= res.l1_loads
+    assert res.l2_renew_grants <= res.l2_gets_expired or \
+        res.l2_gets_expired == 0
+    assert res.sc_stall_cycles >= res.sc_stalled_ops  # each stall >= 1 cycle
+    total_blocker = sum(res.sc_stall_by_blocker.values())
+    assert total_blocker == res.sc_stall_cycles
+
+
+def test_deadlock_detection():
+    """A config whose traces cannot finish raises rather than hanging:
+    engineered by exhausting pinned L1 sets (all ways pinned forever is
+    impossible in normal operation, so instead check the deadlock guard
+    via max_cycles on a long workload)."""
+    from repro.errors import DeadlockError
+    cfg = GPUConfig.small().replace(max_cycles=200)
+    with pytest.raises(DeadlockError):
+        run(cfg, "RCC", "vpr", intensity=0.5)
+
+
+def test_mesi_needs_more_virtual_channels():
+    cfg = GPUConfig.small()
+    mesi = run(cfg, "MESI", "stn", intensity=0.2)
+    rcc = run(cfg, "RCC", "stn", intensity=0.2)
+    assert mesi.virtual_channels == 5
+    assert rcc.virtual_channels == 2
+
+
+def test_renew_reduces_traffic_on_inter_workload():
+    cfg = GPUConfig.small()
+    wl = get_workload("stn", intensity=0.3)
+    on = run_simulation(cfg, "RCC", wl.generate(cfg), "stn")
+    cfg_off = GPUConfig.small()
+    cfg_off.ts.renew_enabled = False
+    wl = get_workload("stn", intensity=0.3)
+    off = run_simulation(cfg_off, "RCC", wl.generate(cfg_off), "stn")
+    assert on.total_flits <= off.total_flits
+    assert on.l2_renew_grants > 0
+    assert off.l2_renew_grants == 0

@@ -1,0 +1,67 @@
+"""Litmus tests across protocols and physical interleavings.
+
+SC protocols must never exhibit the forbidden outcomes even without
+fences; WO protocols must not exhibit them when fully fenced (except IRIW
+under TC-weak, which gives up write atomicity — the paper's reason TCW
+cannot implement SC).
+"""
+
+import pytest
+
+from repro.consistency import litmus as L
+from tests.conftest import SC_PROTOCOLS, WO_PROTOCOLS
+
+STAGGERS = [0, 13, 57, 101, 199]
+
+CASES = [
+    ("mp", L.mp_program, L.mp_forbidden),
+    ("sb", L.sb_program, L.sb_forbidden),
+    ("lb", L.lb_program, L.lb_forbidden),
+    ("iriw", L.iriw_program, L.iriw_forbidden),
+    ("corr", L.corr_program, L.corr_forbidden),
+]
+
+
+@pytest.mark.parametrize("protocol", SC_PROTOCOLS)
+@pytest.mark.parametrize("name,program,forbidden", CASES)
+def test_sc_protocols_forbid_without_fences(small_cfg, protocol, name,
+                                            program, forbidden):
+    for stagger in STAGGERS:
+        res = L.run_litmus(name, small_cfg, protocol, program(),
+                           stagger=stagger)
+        assert not forbidden(res), (
+            f"{protocol} exhibited forbidden {name} outcome "
+            f"(stagger={stagger})")
+
+
+@pytest.mark.parametrize("protocol", WO_PROTOCOLS)
+@pytest.mark.parametrize("name,program,forbidden", [
+    c for c in CASES if c[0] != "iriw"
+])
+def test_wo_protocols_forbid_when_fenced(small_cfg, protocol, name,
+                                         program, forbidden):
+    for stagger in STAGGERS:
+        res = L.run_litmus(name, small_cfg, protocol, program(),
+                           use_fences=True, stagger=stagger)
+        assert not forbidden(res), (
+            f"{protocol} fenced {name} exhibited forbidden outcome "
+            f"(stagger={stagger})")
+
+
+@pytest.mark.parametrize("name,program,forbidden", [
+    c for c in CASES if c[0] in ("mp", "corr")
+])
+def test_rcc_wo_fenced_strong_patterns(small_cfg, name, program, forbidden):
+    """RCC-WO keeps write atomicity (unlike TCW): fenced MP/CoRR hold."""
+    for stagger in STAGGERS:
+        res = L.run_litmus(name, small_cfg, "RCC-WO", program(),
+                           use_fences=True, stagger=stagger)
+        assert not forbidden(res)
+
+
+def test_litmus_result_indexing(small_cfg):
+    res = L.run_litmus("mp", small_cfg, "RCC", L.mp_program())
+    # C0 wrote twice, C1 read twice.
+    assert res.wrote(0, 0) != res.wrote(0, 1)
+    assert res.read(1, 0) is not None
+    assert res.read(1, 1) is not None

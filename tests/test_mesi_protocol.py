@@ -1,0 +1,135 @@
+"""Protocol-level tests for the MESI directory baseline and SC-ideal."""
+
+import pytest
+
+from repro.common.types import MemOpKind
+from repro.gpu.trace import atomic_op, compute_op, load_op, store_op
+from repro.sim.gpusim import GPUSimulator
+from tests.conftest import program_traces
+
+BLOCK = 128
+
+
+def build(cfg, protocol, programs, **kw):
+    return GPUSimulator(cfg, protocol, program_traces(cfg, programs),
+                        "mesi-test", **kw)
+
+
+def test_store_invalidate_sharers_before_ack(tiny_cfg):
+    sim = build(tiny_cfg, "MESI", {
+        (0, 0): [load_op(0)],
+        (1, 0): [compute_op(200), store_op(0)],
+    }, record_ops=True)
+    res = sim.run()
+    assert res.l2_invalidations_sent >= 1
+    assert res.l1_invalidations >= 1
+    # Sharer's copy is gone.
+    assert sim.proto.l1s[0].cache.lookup(0) is None
+
+
+def test_store_latency_grows_with_sharers(tiny_cfg):
+    """Both runs store to an L2-resident block; only the second has a
+    sharer to invalidate, and only it pays the extra round trip."""
+    lone = build(tiny_cfg, "MESI", {
+        (1, 0): [store_op(0), compute_op(400), store_op(0)],
+    }, record_ops=True)
+    r_lone = lone.run()
+    shared = build(tiny_cfg, "MESI", {
+        (0, 0): [compute_op(200), load_op(0)],
+        (1, 0): [store_op(0), compute_op(400), store_op(0)],
+    }, record_ops=True)
+    r_shared = shared.run()
+
+    def second_store_latency(res):
+        return sorted((o for o in res.op_logs
+                       if o.kind is MemOpKind.STORE and o.core_id == 1),
+                      key=lambda o: o.prog_index)[-1].latency
+
+    assert second_store_latency(r_shared) > second_store_latency(r_lone)
+
+
+def test_load_hits_until_invalidated(tiny_cfg):
+    sim = build(tiny_cfg, "MESI", {
+        (0, 0): [load_op(0), compute_op(30), load_op(0)],
+    })
+    res = sim.run()
+    assert res.l1_load_hits == 1
+
+
+def test_directory_tracks_multiple_sharers(tiny_cfg):
+    sim = build(tiny_cfg, "MESI", {
+        (0, 0): [load_op(0)],
+        (1, 0): [load_op(0)],
+    })
+    sim.run()
+    bank = sim.proto.l2s[sim.amap.bank_of(0)]
+    assert bank.cache.lookup(0).sharers == {("core", 0), ("core", 1)}
+
+
+def test_writer_own_l1_also_invalidated(tiny_cfg):
+    """Sibling warps of the writer's SM may hold the block: the directory
+    must invalidate the requester's L1 too."""
+    sim = build(tiny_cfg, "MESI", {
+        (0, 0): [load_op(0)],                       # core 0 caches the block
+        (0, 1): [compute_op(250), store_op(0)],     # same core stores
+        (1, 0): [load_op(0)],
+    }, record_ops=True)
+    res = sim.run()
+    line = sim.proto.l1s[0].cache.lookup(0)
+    assert line is None  # stale copy dropped even on the writing core
+
+
+def test_atomic_is_rmw_at_directory(tiny_cfg):
+    sim = build(tiny_cfg, "MESI", {
+        (0, 0): [store_op(0), atomic_op(0)],
+    }, record_ops=True)
+    res = sim.run()
+    at = [o for o in res.op_logs if o.kind is MemOpKind.ATOMIC][0]
+    st = [o for o in res.op_logs if o.kind is MemOpKind.STORE][0]
+    assert at.read_value == st.value
+
+
+def test_l2_eviction_recalls_sharers(tiny_cfg):
+    n_blocks = (tiny_cfg.l2_per_bank.size_bytes
+                // tiny_cfg.l2_per_bank.block_bytes)
+    span = 3 * n_blocks * tiny_cfg.l2_banks
+    ops = [load_op(0)] + [load_op((i + 4) * BLOCK) for i in range(span)][:200]
+    sim = build(tiny_cfg, "MESI", {(0, 0): ops})
+    res = sim.run()
+    assert res.l2_evictions > 0
+
+
+def test_ideal_store_no_invalidate_latency(tiny_cfg):
+    mesi = build(tiny_cfg, "MESI", {
+        (0, 0): [load_op(0)],
+        (1, 0): [compute_op(200), store_op(0)],
+    }, record_ops=True)
+    r_mesi = mesi.run()
+    ideal = build(tiny_cfg, "SC-IDEAL", {
+        (0, 0): [load_op(0)],
+        (1, 0): [compute_op(200), store_op(0)],
+    }, record_ops=True)
+    r_ideal = ideal.run()
+
+    def st_lat(res):
+        return [o.latency for o in res.op_logs
+                if o.kind is MemOpKind.STORE][0]
+
+    assert st_lat(r_ideal) < st_lat(r_mesi)
+    # Ideal invalidations are free: no INV traffic on the NoC.
+    assert r_ideal.l1_invalidations >= 1
+    from repro.common.types import MsgKind
+    assert ideal.noc.stats.msgs_by_kind[MsgKind.INV] == 0
+
+
+def test_ideal_still_coherent(tiny_cfg):
+    sim = build(tiny_cfg, "SC-IDEAL", {
+        (0, 0): [load_op(0), compute_op(400), load_op(0)],
+        (1, 0): [compute_op(150), store_op(0)],
+    }, record_ops=True)
+    res = sim.run()
+    loads = sorted((o for o in res.op_logs
+                    if o.kind is MemOpKind.LOAD and o.core_id == 0),
+                   key=lambda o: o.prog_index)
+    st = [o for o in res.op_logs if o.kind is MemOpKind.STORE][0]
+    assert loads[-1].read_value == st.value

@@ -1,0 +1,114 @@
+"""Unit tests for the crossbar NoC and the energy model."""
+
+import pytest
+
+from repro.common.messages import Message
+from repro.common.types import MsgKind
+from repro.config import NoCConfig
+from repro.noc.crossbar import Crossbar
+from repro.noc.energy import EnergyModel, EnergyParams
+from repro.timing.engine import Engine
+
+
+def make_noc(link_latency=4, extra=0):
+    eng = Engine()
+    noc = Crossbar(eng, NoCConfig(link_latency=link_latency),
+                   block_bytes=128, extra_latency=extra)
+    return eng, noc
+
+
+def test_delivery_and_latency():
+    eng, noc = make_noc(link_latency=4)
+    got = []
+    noc.register(("l2", 0), lambda m: got.append((eng.now, m)))
+    msg = Message(MsgKind.GETS, 0, ("core", 0), ("l2", 0))
+    arrival = noc.send(msg)
+    eng.run()
+    # 2 control flits serialize + 4 link cycles
+    assert arrival == 2 + 4
+    assert got[0][0] == arrival
+
+
+def test_extra_latency_added():
+    eng, noc = make_noc(link_latency=4, extra=100)
+    noc.register(("l2", 0), lambda m: None)
+    arrival = noc.send(Message(MsgKind.GETS, 0, ("core", 0), ("l2", 0)))
+    assert arrival == 2 + 4 + 100
+
+
+def test_port_serialization_of_data_messages():
+    eng, noc = make_noc(link_latency=4)
+    times = []
+    noc.register(("core", 1), lambda m: times.append(eng.now))
+    for _ in range(3):
+        noc.send(Message(MsgKind.DATA, 0, ("l2", 0), ("core", 1)))
+    eng.run()
+    # 34 flits each; same source port, so deliveries are 34 cycles apart.
+    assert times[1] - times[0] == 34
+    assert times[2] - times[1] == 34
+
+
+def test_different_sources_do_not_serialize():
+    eng, noc = make_noc(link_latency=4)
+    times = []
+    noc.register(("core", 1), lambda m: times.append(eng.now))
+    noc.send(Message(MsgKind.DATA, 0, ("l2", 0), ("core", 1)))
+    noc.send(Message(MsgKind.DATA, 0, ("l2", 1), ("core", 1)))
+    eng.run()
+    assert times[0] == times[1]
+
+
+def test_in_order_per_src_dst_pair():
+    """Messages between one (src, dst) pair must deliver in send order —
+    the protocols rely on this FIFO property."""
+    eng, noc = make_noc()
+    seen = []
+    noc.register(("core", 0), lambda m: seen.append(m.meta["i"]))
+    for i in range(10):
+        kind = MsgKind.DATA if i % 2 else MsgKind.ACK
+        noc.send(Message(kind, 0, ("l2", 0), ("core", 0), meta={"i": i}))
+    eng.run()
+    assert seen == list(range(10))
+
+
+def test_unregistered_endpoint_raises():
+    eng, noc = make_noc()
+    with pytest.raises(KeyError):
+        noc.send(Message(MsgKind.GETS, 0, ("core", 0), ("l2", 99)))
+
+
+def test_traffic_stats_by_kind():
+    eng, noc = make_noc()
+    noc.register(("l2", 0), lambda m: None)
+    noc.send(Message(MsgKind.GETS, 0, ("core", 0), ("l2", 0)))
+    noc.send(Message(MsgKind.WRITE, 0, ("core", 0), ("l2", 0)))
+    assert noc.stats.msgs_by_kind[MsgKind.GETS] == 1
+    assert noc.stats.flits_by_kind[MsgKind.WRITE] == 34
+    groups = noc.stats.grouped_flits()
+    assert groups["store_data"] == 34
+    assert groups["control"] == 2
+
+
+def test_energy_scales_with_flits_and_vcs():
+    eng, noc = make_noc()
+    noc.register(("l2", 0), lambda m: None)
+    for _ in range(10):
+        noc.send(Message(MsgKind.DATA, 0, ("core", 0), ("l2", 0)))
+    model = EnergyModel()
+    e2 = model.estimate(noc.stats, cycles=1000, virtual_channels=2)
+    e5 = model.estimate(noc.stats, cycles=1000, virtual_channels=5)
+    assert e5.static > e2.static
+    assert e5.router_dynamic == e2.router_dynamic
+    assert e2.total > 0
+    assert set(e2.as_dict()) == {"router_dynamic", "link_dynamic", "static",
+                                 "total"}
+
+
+def test_energy_params_linear_in_traffic():
+    eng, noc = make_noc()
+    noc.register(("l2", 0), lambda m: None)
+    noc.send(Message(MsgKind.DATA, 0, ("core", 0), ("l2", 0)))
+    one = EnergyModel(EnergyParams()).estimate(noc.stats, 0, 2)
+    noc.send(Message(MsgKind.DATA, 0, ("core", 0), ("l2", 0)))
+    two = EnergyModel(EnergyParams()).estimate(noc.stats, 0, 2)
+    assert abs(two.router_dynamic - 2 * one.router_dynamic) < 1e-9

@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) on core data structures and on the
+central invariant of the whole system: every SC protocol produces
+sequentially consistent executions for *arbitrary* programs.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.addresses import AddressMap
+from repro.common.types import L1State
+from repro.config import CacheConfig, GPUConfig
+from repro.consistency.checker import SCChecker
+from repro.core.timestamps import LogicalClock
+from repro.gpu.trace import (
+    WarpTrace, atomic_op, barrier_op, compute_op, fence_op, load_op, store_op,
+)
+from repro.mem.cache_array import CacheArray
+from repro.mem.mshr import MSHRFile
+from repro.sim.gpusim import run_simulation
+from repro.timing.engine import Engine
+
+
+# ----------------------------------------------------------------------
+# Engine ordering
+# ----------------------------------------------------------------------
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_engine_fires_in_nondecreasing_time(times):
+    eng = Engine()
+    fired = []
+    for t in times:
+        eng.schedule(t, lambda t=t: fired.append(eng.now))
+    eng.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+# ----------------------------------------------------------------------
+# Address mapping
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=2**40),
+       st.sampled_from([64, 128, 256]),
+       st.integers(min_value=1, max_value=16))
+@settings(max_examples=100, deadline=None)
+def test_address_map_properties(addr, block, banks):
+    am = AddressMap(block_bytes=block, n_l2_banks=banks)
+    base = am.block_of(addr)
+    assert base <= addr < base + block
+    assert base % block == 0
+    assert 0 <= am.bank_of(addr) < banks
+    assert am.bank_of(addr) == am.bank_of(base)
+
+
+# ----------------------------------------------------------------------
+# Logical clock monotonicity
+# ----------------------------------------------------------------------
+@given(st.lists(st.integers(min_value=0, max_value=2**20), max_size=80))
+@settings(max_examples=60, deadline=None)
+def test_clock_monotone(targets):
+    clk = LogicalClock(bits=32)
+    prev = 0
+    for t in targets:
+        v = clk.advance_to(t)
+        assert v >= prev
+        assert v >= t or v == prev
+        prev = v
+
+
+# ----------------------------------------------------------------------
+# Cache array invariants under random op sequences
+# ----------------------------------------------------------------------
+@given(st.lists(st.tuples(st.sampled_from(["ins", "rm", "get"]),
+                          st.integers(min_value=0, max_value=63)),
+                max_size=150),
+       st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=50, deadline=None)
+def test_cache_array_never_overflows(ops, seed):
+    arr = CacheArray(CacheConfig(size_bytes=2048, assoc=2, block_bytes=128),
+                     L1State.I)
+    for action, blk in ops:
+        addr = blk * 128
+        if action == "ins":
+            arr.insert(addr, L1State.V)
+        elif action == "rm":
+            arr.remove(addr)
+        else:
+            line = arr.lookup(addr)
+            if line is not None:
+                assert line.addr == addr
+    # Invariants: per-set occupancy <= assoc; all addresses block-aligned.
+    for s in arr._sets:
+        assert len(s) <= arr.assoc
+        for a, line in s.items():
+            assert a % 128 == 0
+            assert line.addr == a
+            assert arr.set_index(a) == arr._sets.index(s)
+
+
+# ----------------------------------------------------------------------
+# MSHR occupancy bound
+# ----------------------------------------------------------------------
+@given(st.lists(st.tuples(st.booleans(),
+                          st.integers(min_value=0, max_value=15)),
+                max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_mshr_never_exceeds_capacity(ops):
+    f = MSHRFile(4)
+    for allocate, blk in ops:
+        addr = blk * 128
+        if allocate:
+            if f.has_free() or addr in f:
+                f.allocate(addr)
+        else:
+            f.release_if_empty(addr)
+        assert len(f) <= 4
+
+
+# ----------------------------------------------------------------------
+# THE invariant: random programs through SC protocols are SC
+# ----------------------------------------------------------------------
+def _random_traces(cfg, rng, n_ops, n_blocks=12):
+    traces = []
+    for c in range(cfg.n_cores):
+        core_traces = []
+        for w in range(cfg.warps_per_core):
+            t = WarpTrace(c, w)
+            for _ in range(n_ops):
+                roll = rng.random()
+                addr = rng.randrange(n_blocks) * 128
+                if roll < 0.45:
+                    t.append(load_op(addr))
+                elif roll < 0.75:
+                    t.append(store_op(addr))
+                elif roll < 0.85:
+                    t.append(atomic_op(addr))
+                elif roll < 0.95:
+                    t.append(compute_op(rng.randrange(1, 40)))
+                else:
+                    t.append(fence_op())
+            core_traces.append(t)
+        traces.append(core_traces)
+    return traces
+
+
+@given(st.integers(min_value=0, max_value=10**6),
+       st.sampled_from(["RCC", "TCS", "MESI", "SC-IDEAL"]))
+@settings(max_examples=25, deadline=None)
+def test_random_programs_are_sequentially_consistent(seed, protocol):
+    cfg = GPUConfig.small().replace(n_cores=2, warps_per_core=2)
+    rng = random.Random(seed)
+    traces = _random_traces(cfg, rng, n_ops=14)
+    res = run_simulation(cfg, protocol, traces, "random", record_ops=True)
+    SCChecker().check_or_raise(res.op_logs)
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=10, deadline=None)
+def test_random_programs_complete_under_weak_protocols(seed):
+    cfg = GPUConfig.small().replace(n_cores=2, warps_per_core=2)
+    rng = random.Random(seed)
+    traces = _random_traces(cfg, rng, n_ops=12)
+    for protocol in ("TCW", "RCC-WO"):
+        res = run_simulation(cfg, protocol, traces, "random")
+        expected = sum(t.n_mem_ops for ct in traces for t in ct)
+        assert res.mem_ops == expected
+
+
+# ----------------------------------------------------------------------
+# Trace-file round trip
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_tracefile_round_trip_property(seed):
+    import io
+    from repro.workloads.tracefile import load_traces, save_traces
+    cfg = GPUConfig.small().replace(n_cores=2, warps_per_core=2)
+    rng = random.Random(seed)
+    traces = _random_traces(cfg, rng, n_ops=10)
+    # Barriers are also exercised (random traces have none).
+    from repro.gpu.trace import barrier_op
+    traces[0][0].append(barrier_op(1))
+    traces[0][1].append(barrier_op(1))
+    buf = io.StringIO()
+    save_traces(buf, traces)
+    buf.seek(0)
+    loaded = load_traces(buf)
+    for co, cl in zip(traces, loaded):
+        for to, tl in zip(co, cl):
+            assert to.ops == tl.ops
+
+
+# ----------------------------------------------------------------------
+# Histogram statistics vs exact reference
+# ----------------------------------------------------------------------
+@given(st.lists(st.integers(min_value=0, max_value=100_000), min_size=1,
+                max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_histogram_tracks_exact_aggregates(samples):
+    from repro.stats.histogram import Histogram
+    h = Histogram()
+    for s in samples:
+        h.add(s)
+    assert h.count == len(samples)
+    assert h.min == min(samples)
+    assert h.max == max(samples)
+    assert h.mean == sum(samples) / len(samples)
+    # Percentiles bracket the data range and are monotone.
+    ps = [h.percentile(p) for p in (10, 50, 90, 100)]
+    assert ps == sorted(ps)
+    assert ps[-1] <= 2 * max(samples) + 1  # within the top bucket
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=8, deadline=None)
+def test_rcc_sc_with_rollover_is_still_correct(seed):
+    """Random programs under a narrow clock roll over and still complete
+    with per-address coherence intact (value flow is spot-checked by the
+    final reads)."""
+    from repro.config import TimestampConfig
+    cfg = GPUConfig.small().replace(n_cores=2, warps_per_core=2)
+    cfg.ts = TimestampConfig(bits=10, lease_min=8, lease_default=32,
+                             lease_max=32, predictor_enabled=False,
+                             livelock_tick_cycles=0)
+    rng = random.Random(seed)
+    traces = _random_traces(cfg, rng, n_ops=30, n_blocks=6)
+    res = run_simulation(cfg, "RCC", traces, "rollover-random")
+    expected = sum(t.n_mem_ops for ct in traces for t in ct)
+    assert res.mem_ops == expected

@@ -1,0 +1,130 @@
+"""Timestamp rollover tests (paper §III-D).
+
+A tiny timestamp width forces frequent rollovers; execution must stay
+correct (all ops complete, values flow) across them.
+"""
+
+import pytest
+
+from repro.config import GPUConfig, TimestampConfig
+from repro.core.rollover import RolloverManager
+from repro.gpu.trace import compute_op, load_op, store_op
+from repro.sim.gpusim import GPUSimulator
+from repro.timing.engine import Engine
+from tests.conftest import program_traces
+
+
+def narrow_cfg(bits=12, lease=16):
+    cfg = GPUConfig.small().replace(n_cores=2, warps_per_core=2)
+    cfg.ts = TimestampConfig(bits=bits, lease_min=8, lease_default=lease,
+                             lease_max=lease, predictor_enabled=False,
+                             livelock_tick_cycles=0)
+    return cfg
+
+
+def lease_write_loop(n, block_a=0, block_b=10 * 128):
+    """Each (load B, store B) pair advances logical time by ~lease."""
+    ops = [load_op(block_a)]
+    for _ in range(n):
+        ops += [load_op(block_b), store_op(block_b)]
+    ops += [load_op(block_a)]
+    return ops
+
+
+def test_rollover_triggers_and_execution_completes():
+    cfg = narrow_cfg(bits=10, lease=32)  # max 1023, guard band kicks early
+    sim = GPUSimulator(cfg, "RCC", program_traces(cfg, {
+        (0, 0): lease_write_loop(40),
+        (1, 0): lease_write_loop(40, block_b=20 * 128),
+    }), "rollover")
+    res = sim.run()
+    assert res.rollovers >= 1
+    assert res.mem_ops == 2 * (1 + 80 + 1)
+
+
+def test_clocks_reset_after_rollover():
+    cfg = narrow_cfg(bits=10, lease=32)
+    sim = GPUSimulator(cfg, "RCC", program_traces(cfg, {
+        (0, 0): lease_write_loop(40),
+    }), "rollover")
+    sim.run()
+    max_ts = cfg.ts.max_timestamp
+    for l1 in sim.proto.l1s:
+        assert l1.clock.value < max_ts
+    for l2 in sim.proto.l2s:
+        for line in l2.cache.lines():
+            assert line.ver < max_ts
+            assert line.exp < max_ts
+
+
+def test_values_flow_across_rollover():
+    """A store before the rollover must still be visible after it."""
+    cfg = narrow_cfg(bits=10, lease=32)
+    sim = GPUSimulator(cfg, "RCC", program_traces(cfg, {
+        (0, 0): [store_op(0)] + lease_write_loop(40) + [load_op(0)],
+    }), "rollover", record_ops=True)
+    res = sim.run()
+    assert res.rollovers >= 1
+    loads = [op for op in res.op_logs
+             if op.kind.name == "LOAD" and op.addr == 0]
+    store = [op for op in res.op_logs
+             if op.kind.name == "STORE" and op.addr == 0][0]
+    assert loads[-1].read_value == store.value
+
+
+def test_multiple_rollovers():
+    cfg = narrow_cfg(bits=9, lease=32)
+    sim = GPUSimulator(cfg, "RCC", program_traces(cfg, {
+        (0, 0): lease_write_loop(80),
+    }), "rollover")
+    res = sim.run()
+    assert res.rollovers >= 2
+
+
+def test_rollover_with_rcc_wo():
+    cfg = narrow_cfg(bits=10, lease=32)
+    sim = GPUSimulator(cfg, "RCC-WO", program_traces(cfg, {
+        (0, 0): lease_write_loop(40),
+        (1, 0): lease_write_loop(40, block_b=30 * 128),
+    }), "rollover")
+    res = sim.run()
+    assert res.mem_ops > 0
+    for l1 in sim.proto.l1s:
+        assert l1.write_clock.value <= cfg.ts.max_timestamp
+
+
+def test_wide_timestamps_never_roll_over():
+    cfg = GPUConfig.small().replace(n_cores=2, warps_per_core=2)
+    sim = GPUSimulator(cfg, "RCC", program_traces(cfg, {
+        (0, 0): lease_write_loop(30),
+    }), "no-rollover")
+    res = sim.run()
+    assert res.rollovers == 0
+
+
+class TestRolloverManagerUnit:
+    def test_threshold(self):
+        mgr = RolloverManager(Engine(), threshold=1000)
+        assert not mgr.needs_rollover(999)
+        assert mgr.needs_rollover(1000)
+
+    def test_clamp_by_epoch(self):
+        mgr = RolloverManager(Engine(), threshold=1000)
+        assert mgr.clamp(55, msg_epoch=0) == 55
+        mgr.epoch += 1
+        assert mgr.clamp(55, msg_epoch=0) == 0
+        assert mgr.clamp(55, msg_epoch=1) == 55
+        assert mgr.clamp(None, msg_epoch=1) == 0
+
+    def test_concurrent_trigger_collapses(self):
+        eng = Engine()
+        mgr = RolloverManager(eng, threshold=10)
+        mgr.wire([], [], [])
+        assert mgr.maybe_trigger(50, bank_id=1)
+        assert mgr.in_progress
+        # A second bank triggering while in progress defers, no new rollover.
+        assert mgr.maybe_trigger(60, bank_id=0)
+        assert mgr.rollovers == 1
+        eng.run()
+        assert not mgr.in_progress
+        assert mgr.epoch == 1

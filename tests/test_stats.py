@@ -1,0 +1,136 @@
+"""Tests for histograms, time series, and run comparison."""
+
+import pytest
+
+from repro.common.types import MemOpKind
+from repro.config import GPUConfig
+from repro.sim.gpusim import run_simulation
+from repro.stats.compare import compare_runs, speedup_table
+from repro.stats.histogram import Histogram
+from repro.stats.timeseries import TimeSeries, clock_skew_probe
+from repro.timing.engine import Engine
+from repro.workloads import get_workload
+
+
+class TestHistogram:
+    def test_mean_and_count(self):
+        h = Histogram()
+        for v in (1, 2, 3, 4):
+            h.add(v)
+        assert h.count == 4
+        assert h.mean == 2.5
+        assert h.min == 1 and h.max == 4
+
+    def test_percentiles_monotone(self):
+        h = Histogram()
+        for v in range(1, 1001):
+            h.add(v)
+        p50 = h.percentile(50)
+        p90 = h.percentile(90)
+        p99 = h.percentile(99)
+        assert p50 <= p90 <= p99
+        assert 200 <= p50 <= 800  # log-bucket approximation is coarse
+
+    def test_zero_bucket(self):
+        h = Histogram()
+        h.add(0, count=5)
+        assert h.buckets() == [(0, 0, 5)]
+        assert h.percentile(99) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().add(-1)
+
+    def test_saturates_at_max(self):
+        h = Histogram(max_value=1 << 10)
+        h.add(10**9)
+        assert h.max == 1 << 10
+
+    def test_merge(self):
+        a, b = Histogram(), Histogram()
+        a.add(4)
+        b.add(400, count=3)
+        a.merge(b)
+        assert a.count == 4
+        assert a.max == 400
+        assert a.total == 4 + 1200
+
+    def test_summary_keys(self):
+        h = Histogram()
+        h.add(7)
+        assert set(h.summary()) == {"count", "mean", "p50", "p90", "p99",
+                                    "min", "max"}
+
+    def test_empty_percentile(self):
+        assert Histogram().percentile(50) == 0.0
+
+    def test_bad_percentile(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(0)
+
+
+class TestTimeSeries:
+    def test_samples_until_inactive(self):
+        eng = Engine()
+        counter = {"v": 0, "alive": True}
+
+        def bump():
+            counter["v"] += 1
+            if eng.now < 5000:
+                eng.schedule_in(100, bump)
+            else:
+                counter["alive"] = False
+
+        eng.schedule(0, bump)
+        ts = TimeSeries(eng, probe=lambda: counter["v"], period=500,
+                        active=lambda: counter["alive"])
+        ts.start()
+        eng.run()
+        assert len(ts.samples) >= 5
+        vals = ts.values()
+        assert vals == sorted(vals)  # the counter only grows
+        assert ts.peak == vals[-1] == ts.last()
+        assert ts.mean > 0
+
+    def test_bad_period(self):
+        with pytest.raises(ValueError):
+            TimeSeries(Engine(), probe=lambda: 0, period=0)
+
+    def test_clock_skew_probe_on_real_run(self):
+        from repro.sim.gpusim import GPUSimulator
+        cfg = GPUConfig.small()
+        wl = get_workload("dlb", intensity=0.2)
+        sim = GPUSimulator(cfg, "RCC", wl.generate(cfg), "dlb")
+        series = TimeSeries(sim.engine, clock_skew_probe(sim.proto.l1s),
+                            period=500,
+                            active=lambda: not all(c.finished
+                                                   for c in sim.cores))
+        series.start()
+        sim.run()
+        assert series.samples  # cores really do drift apart and resync
+        assert series.peak >= 0
+
+
+class TestCompare:
+    @pytest.fixture(scope="class")
+    def results(self):
+        cfg = GPUConfig.small()
+        out = []
+        for protocol in ("MESI", "RCC"):
+            for wlname in ("dlb", "kmn"):
+                wl = get_workload(wlname, intensity=0.15)
+                out.append(run_simulation(cfg, protocol, wl.generate(cfg),
+                                          wlname))
+        return out
+
+    def test_compare_runs_baseline_is_one(self, results):
+        table = compare_runs(results, baseline_protocol="MESI")
+        assert table["MESI"]["speedup"] == pytest.approx(1.0)
+        assert table["MESI"]["energy"] == pytest.approx(1.0)
+        assert set(table) == {"MESI", "RCC"}
+        assert table["RCC"]["speedup"] > 0
+
+    def test_speedup_table_rows(self, results):
+        rows = speedup_table(results)
+        assert len(rows) == 4
+        assert all(len(r) == 3 for r in rows)

@@ -1,0 +1,87 @@
+"""Unit tests for trace ops and warp state."""
+
+import pytest
+
+from repro.common.types import MemOpKind
+from repro.errors import TraceError
+from repro.gpu.trace import (
+    WarpTrace, atomic_op, barrier_op, compute_op, fence_op, load_op, store_op,
+)
+from repro.gpu.warp import MemOpRecord, Warp
+
+
+class TestTraceOps:
+    def test_constructors(self):
+        assert load_op(0x100).kind is MemOpKind.LOAD
+        assert store_op(0x100).kind is MemOpKind.STORE
+        assert atomic_op(0x100).kind is MemOpKind.ATOMIC
+        assert compute_op(5).cycles == 5
+        assert fence_op().kind is MemOpKind.FENCE
+        assert barrier_op(3).barrier_id == 3
+
+    def test_mem_op_requires_address(self):
+        from repro.gpu.trace import TraceOp
+        with pytest.raises(TraceError):
+            TraceOp(MemOpKind.LOAD)
+
+    def test_compute_requires_positive_cycles(self):
+        with pytest.raises(TraceError):
+            compute_op(0)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(TraceError):
+            load_op(-4)
+
+    def test_kind_predicates(self):
+        assert MemOpKind.LOAD.is_global_mem
+        assert MemOpKind.ATOMIC.is_write
+        assert not MemOpKind.LOAD.is_write
+        assert not MemOpKind.FENCE.is_global_mem
+        assert not MemOpKind.BARRIER.is_write
+
+    def test_trace_counts(self):
+        t = WarpTrace(0, 0)
+        t.extend([load_op(0), compute_op(3), store_op(128), fence_op()])
+        assert len(t) == 4
+        assert t.n_mem_ops == 2
+
+    def test_barrier_validation(self):
+        t = WarpTrace(0, 0)
+        t.extend([barrier_op(1), barrier_op(0)])
+        with pytest.raises(TraceError):
+            t.validate(4)
+
+
+class TestWarp:
+    def test_program_counter_walk(self):
+        t = WarpTrace(0, 1)
+        t.extend([load_op(0), store_op(0)])
+        w = Warp(t)
+        assert not w.done
+        assert w.next_op().kind is MemOpKind.LOAD
+        w.pc += 1
+        assert w.next_op().kind is MemOpKind.STORE
+        w.pc += 1
+        assert w.done
+        assert w.next_op() is None
+
+    def test_oldest_outstanding(self):
+        t = WarpTrace(0, 0)
+        w = Warp(t)
+        assert w.oldest_outstanding is None
+        a = MemOpRecord(MemOpKind.LOAD, 0, 0, 0, 0)
+        b = MemOpRecord(MemOpKind.STORE, 0, 0, 0, 1)
+        w.outstanding.extend([a, b])
+        assert w.oldest_outstanding is a
+
+    def test_record_latency(self):
+        r = MemOpRecord(MemOpKind.LOAD, 0x80, 1, 2, 3)
+        r.issue_cycle = 10
+        r.complete_cycle = 50
+        assert r.latency == 40
+        assert r.core_id == 1 and r.warp_id == 2 and r.prog_index == 3
+
+    def test_record_seq_unique(self):
+        a = MemOpRecord(MemOpKind.LOAD, 0, 0, 0, 0)
+        b = MemOpRecord(MemOpKind.LOAD, 0, 0, 0, 0)
+        assert a.seq != b.seq

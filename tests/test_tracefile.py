@@ -1,0 +1,97 @@
+"""Tests for trace file save/load round-trips."""
+
+import io
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import TraceError
+from repro.gpu.trace import (
+    WarpTrace, atomic_op, barrier_op, compute_op, fence_op, load_op,
+    store_op,
+)
+from repro.sim.gpusim import run_simulation
+from repro.workloads import get_workload
+from repro.workloads.tracefile import load_traces, save_traces
+
+
+def sample_traces():
+    t00 = WarpTrace(0, 0)
+    t00.extend([load_op(0x1000), store_op(0x2080), atomic_op(0x3000),
+                compute_op(17), fence_op(), barrier_op(2)])
+    t01 = WarpTrace(0, 1)
+    t01.extend([load_op(0x80)])
+    t10 = WarpTrace(1, 0)
+    t11 = WarpTrace(1, 1)
+    t11.extend([store_op(0xFFF00)])
+    return [[t00, t01], [t10, t11]]
+
+
+def test_round_trip_in_memory():
+    buf = io.StringIO()
+    save_traces(buf, sample_traces())
+    buf.seek(0)
+    loaded = load_traces(buf)
+    orig = sample_traces()
+    assert len(loaded) == len(orig)
+    for co, cl in zip(orig, loaded):
+        for to, tl in zip(co, cl):
+            assert to.ops == tl.ops
+
+
+def test_round_trip_on_disk(tmp_path):
+    path = str(tmp_path / "trace.txt")
+    save_traces(path, sample_traces())
+    loaded = load_traces(path)
+    assert loaded[0][0].ops == sample_traces()[0][0].ops
+
+
+def test_round_trip_generated_workload(tmp_path):
+    cfg = GPUConfig.small()
+    traces = get_workload("stn", intensity=0.15).generate(cfg)
+    path = str(tmp_path / "stn.trace")
+    save_traces(path, traces)
+    loaded = load_traces(path)
+    a = run_simulation(cfg, "RCC", traces, "stn")
+    b = run_simulation(cfg, "RCC", loaded, "stn")
+    assert a.cycles == b.cycles       # identical replay
+    assert a.mem_ops == b.mem_ops
+
+
+def test_comments_and_blanks_ignored():
+    text = "\n".join([
+        "# repro-trace v1", "", "# a comment", "@ 0 0", "L 100", "",
+        "C 5", "# done",
+    ])
+    loaded = load_traces(io.StringIO(text))
+    assert len(loaded[0][0].ops) == 2
+
+
+def test_malformed_op_rejected():
+    with pytest.raises(TraceError):
+        load_traces(io.StringIO("@ 0 0\nL\n"))
+    with pytest.raises(TraceError):
+        load_traces(io.StringIO("@ 0 0\nX 99\n"))
+
+
+def test_op_before_header_rejected():
+    with pytest.raises(TraceError):
+        load_traces(io.StringIO("L 100\n"))
+
+
+def test_duplicate_warp_rejected():
+    with pytest.raises(TraceError):
+        load_traces(io.StringIO("@ 0 0\nL 1\n@ 0 0\nL 2\n"))
+
+
+def test_empty_file_rejected():
+    with pytest.raises(TraceError):
+        load_traces(io.StringIO("# nothing here\n"))
+
+
+def test_missing_warps_filled_empty():
+    loaded = load_traces(io.StringIO("@ 1 1\nL 80\n"))
+    assert len(loaded) == 2
+    assert len(loaded[0]) == 2
+    assert loaded[0][0].ops == []
+    assert len(loaded[1][1].ops) == 1
