@@ -1,0 +1,26 @@
+# Convenience targets; everything assumes only the in-tree sources
+# (PYTHONPATH=src), no install required.
+
+PY       ?= python
+PYPATH   := PYTHONPATH=src
+
+.PHONY: test test-fast fuzz fuzz-smoke bench report
+
+test:            ## tier-1: the full test suite
+	$(PYPATH) $(PY) -m pytest -x -q
+
+test-fast:       ## the suite minus the bounded fuzz campaigns
+	$(PYPATH) $(PY) -m pytest -x -q -m "not fuzz_smoke"
+
+fuzz-smoke:      ## just the bounded differential fuzz campaigns (<30s)
+	$(PYPATH) $(PY) -m pytest -x -q -m fuzz_smoke
+
+fuzz:            ## a long differential campaign across all protocols
+	$(PYPATH) $(PY) -m repro.fuzz.cli --seed 0 --programs 2000 \
+	    --fence-density 0.2 --p-atomic 0.1
+
+bench:           ## paper figures/tables under pytest-benchmark
+	$(PYPATH) $(PY) -m pytest benchmarks/ --benchmark-only
+
+report:          ## regenerate every experiment with paper-vs-measured
+	$(PYPATH) $(PY) -m repro.harness.runner all

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Differential litmus fuzzing, end to end.
+
+Three acts:
+
+1. a fuzz campaign — randomized multi-warp programs run under every
+   registered protocol, with SC protocols cross-checked against both the
+   witness checker and an independent SC interleaving oracle;
+2. a demonstration that the machinery actually catches bugs: a toy
+   executor with TSO-style store buffering (which claims SC, and lies) is
+   flagged and its failing program shrunk to a minimal reproducer;
+3. replaying the checked-in regression corpus.
+
+    python examples/fuzz_campaign.py
+
+The same campaign is scriptable as `repro-fuzz --seed 0 --programs 200`
+(or `make fuzz`), and exits non-zero on any violation.
+"""
+
+import os
+
+from repro import GPUConfig
+from repro.fuzz import (
+    DifferentialRunner, FuzzKnobs, broken_store_buffer_executor,
+    load_corpus, reference_sc_executor, run_campaign,
+)
+
+
+def campaign() -> None:
+    print("=== 1. fuzz campaign: every protocol, two validators ===\n")
+    runner = DifferentialRunner(cfg=GPUConfig.small())
+    knobs = FuzzKnobs(n_cores=4, ops_per_warp=6, n_addrs=2,
+                      p_store=0.4, p_atomic=0.1, fence_density=0.2)
+    result = run_campaign(runner, seed=0, n_programs=100, knobs=knobs)
+    print(result.render())
+    assert result.passed
+
+
+def catch_a_bug() -> None:
+    print("\n=== 2. catching an injected bug (TSO store buffering) ===\n")
+    runner = DifferentialRunner(executors=[reference_sc_executor(),
+                                           broken_store_buffer_executor()])
+    knobs = FuzzKnobs(n_cores=2, ops_per_warp=8, n_addrs=2, p_store=0.5)
+    result = run_campaign(runner, seed=0, n_programs=40, knobs=knobs,
+                          max_shrinks=1)
+    assert not result.passed
+    report = result.failures[0]
+    print(f"{result.programs_failed} failing programs; first reproducer "
+          f"shrunk {report.program.n_ops} -> {report.shrunk.n_ops} ops:\n")
+    print(report.shrunk.pretty())
+    for reason in report.shrunk_reasons:
+        print(f"  {reason}")
+
+
+def replay_corpus() -> None:
+    print("\n=== 3. replaying the regression corpus ===\n")
+    corpus_dir = os.path.join(os.path.dirname(__file__), os.pardir,
+                              "tests", "corpus")
+    runner = DifferentialRunner(cfg=GPUConfig.small())
+    for name, program in load_corpus(corpus_dir):
+        verdict = runner.check_program(program)
+        print(f"  {'PASS' if verdict.passed else 'FAIL'} {name} "
+              f"({program.n_ops} ops, {len(program.warps)} warps)")
+        assert verdict.passed
+
+
+if __name__ == "__main__":
+    campaign()
+    catch_a_bug()
+    replay_corpus()

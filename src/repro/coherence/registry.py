@@ -3,16 +3,22 @@
 Central place that knows, for each protocol, which controller classes to
 instantiate, how many NoC virtual channels it needs for deadlock freedom
 (energy model input), and which consistency model the core must enforce.
+
+The registry is extensible: :func:`register_protocol` adds a new name with
+its own builder, so experiments (and the differential fuzzer's toy-protocol
+fixtures) can run custom controller sets through the unchanged simulator.
+:func:`available_protocols` / :func:`sc_protocols` / :func:`wo_protocols`
+are the canonical enumerations used by sweeps and fuzz campaigns.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.coherence.ideal import IdealL1Controller, IdealL2Controller
 from repro.coherence.mesi import MESIL1Controller, MESIL2Controller
 from repro.coherence.tc import TCL1Controller, TCL2Controller
-from repro.config import GPUConfig, consistency_of
+from repro.config import GPUConfig, PROTOCOLS, consistency_of
 from repro.core.rcc_l1 import RCCL1Controller
 from repro.core.rcc_l2 import RCCL2Controller
 from repro.core.rcc_wo import RCCWOL1Controller
@@ -45,46 +51,124 @@ class ProtocolInstance:
         self.rollover = rollover
 
 
+# ----------------------------------------------------------------------
+# Per-protocol builders
+# ----------------------------------------------------------------------
+
+def _build_rcc(name: str, engine, cfg: GPUConfig, noc, amap, drams,
+               backing) -> ProtocolInstance:
+    rollover = RolloverManager(
+        engine,
+        threshold=cfg.ts.max_timestamp - timestamp_guard_band(cfg.ts.lease_max),
+    )
+    l1_cls = RCCL1Controller if name == "RCC" else RCCWOL1Controller
+    l1s = [l1_cls(i, engine, cfg, noc, amap, rollover)
+           for i in range(cfg.n_cores)]
+    l2s = [RCCL2Controller(j, engine, cfg, noc, amap, drams[j], backing,
+                           rollover)
+           for j in range(cfg.l2_banks)]
+    rollover.wire(l1s, l2s, drams)
+    return ProtocolInstance(name, l1s, l2s, rollover)
+
+
+def _build_tc(name: str, engine, cfg: GPUConfig, noc, amap, drams,
+              backing) -> ProtocolInstance:
+    strong = name == "TCS"
+    l1s = [TCL1Controller(i, engine, cfg, noc, amap, strong)
+           for i in range(cfg.n_cores)]
+    l2s = [TCL2Controller(j, engine, cfg, noc, amap, drams[j], backing,
+                          strong)
+           for j in range(cfg.l2_banks)]
+    return ProtocolInstance(name, l1s, l2s)
+
+
+def _build_mesi(name: str, engine, cfg: GPUConfig, noc, amap, drams,
+                backing) -> ProtocolInstance:
+    l1s = [MESIL1Controller(i, engine, cfg, noc, amap)
+           for i in range(cfg.n_cores)]
+    l2s = [MESIL2Controller(j, engine, cfg, noc, amap, drams[j], backing)
+           for j in range(cfg.l2_banks)]
+    return ProtocolInstance(name, l1s, l2s)
+
+
+def _build_ideal(name: str, engine, cfg: GPUConfig, noc, amap, drams,
+                 backing) -> ProtocolInstance:
+    l1s = [IdealL1Controller(i, engine, cfg, noc, amap)
+           for i in range(cfg.n_cores)]
+    l2s = [IdealL2Controller(j, engine, cfg, noc, amap, drams[j], backing)
+           for j in range(cfg.l2_banks)]
+    for l2 in l2s:
+        l2.wire_l1s(l1s)
+    return ProtocolInstance(name, l1s, l2s)
+
+
+#: name -> builder(name, engine, cfg, noc, amap, drams, backing).
+_BUILDERS: Dict[str, Callable[..., ProtocolInstance]] = {
+    "RCC": _build_rcc,
+    "RCC-WO": _build_rcc,
+    "TCS": _build_tc,
+    "TCW": _build_tc,
+    "MESI": _build_mesi,
+    "SC-IDEAL": _build_ideal,
+}
+
+
+# ----------------------------------------------------------------------
+# Enumeration / extension API
+# ----------------------------------------------------------------------
+
+def available_protocols() -> List[str]:
+    """All registered protocol names, in a stable order."""
+    return sorted(_BUILDERS)
+
+
+def sc_protocols() -> List[str]:
+    """Registered protocols whose cores enforce sequential consistency."""
+    return [p for p in available_protocols() if consistency_of(p) == "sc"]
+
+
+def wo_protocols() -> List[str]:
+    """Registered protocols running weakly ordered (fence-based)."""
+    return [p for p in available_protocols() if consistency_of(p) == "wo"]
+
+
+def register_protocol(name: str,
+                      builder: Callable[..., ProtocolInstance],
+                      consistency: str = "sc",
+                      virtual_channels: int = 2,
+                      replace: bool = False) -> None:
+    """Register a custom protocol under ``name``.
+
+    ``builder(name, engine, cfg, noc, amap, drams, backing)`` must return a
+    :class:`ProtocolInstance`. ``consistency`` is ``"sc"`` or ``"wo"`` (the
+    core issue policy), ``virtual_channels`` feeds the energy model. Used by
+    tests to inject deliberately broken toy protocols for differential
+    checking without touching the shipped ones.
+    """
+    if consistency not in ("sc", "wo"):
+        raise ConfigError(f"consistency must be 'sc' or 'wo', "
+                          f"got {consistency!r}")
+    if name in _BUILDERS and not replace:
+        raise ConfigError(f"protocol {name!r} is already registered")
+    _BUILDERS[name] = builder
+    PROTOCOLS[name] = consistency
+    VIRTUAL_CHANNELS[name] = virtual_channels
+
+
+def unregister_protocol(name: str) -> None:
+    """Remove a protocol added by :func:`register_protocol`."""
+    if name in ("RCC", "RCC-WO", "TCS", "TCW", "MESI", "SC-IDEAL"):
+        raise ConfigError(f"refusing to unregister built-in {name!r}")
+    _BUILDERS.pop(name, None)
+    PROTOCOLS.pop(name, None)
+    VIRTUAL_CHANNELS.pop(name, None)
+
+
 def build_protocol(name: str, engine, cfg: GPUConfig, noc, amap, drams,
                    backing) -> ProtocolInstance:
     """Instantiate all L1 and L2 controllers for protocol ``name``."""
-    if name in ("RCC", "RCC-WO"):
-        rollover = RolloverManager(
-            engine,
-            threshold=cfg.ts.max_timestamp - timestamp_guard_band(cfg.ts.lease_max),
-        )
-        l1_cls = RCCL1Controller if name == "RCC" else RCCWOL1Controller
-        l1s = [l1_cls(i, engine, cfg, noc, amap, rollover)
-               for i in range(cfg.n_cores)]
-        l2s = [RCCL2Controller(j, engine, cfg, noc, amap, drams[j], backing,
-                               rollover)
-               for j in range(cfg.l2_banks)]
-        rollover.wire(l1s, l2s, drams)
-        return ProtocolInstance(name, l1s, l2s, rollover)
-
-    if name in ("TCS", "TCW"):
-        strong = name == "TCS"
-        l1s = [TCL1Controller(i, engine, cfg, noc, amap, strong)
-               for i in range(cfg.n_cores)]
-        l2s = [TCL2Controller(j, engine, cfg, noc, amap, drams[j], backing,
-                              strong)
-               for j in range(cfg.l2_banks)]
-        return ProtocolInstance(name, l1s, l2s)
-
-    if name == "MESI":
-        l1s = [MESIL1Controller(i, engine, cfg, noc, amap)
-               for i in range(cfg.n_cores)]
-        l2s = [MESIL2Controller(j, engine, cfg, noc, amap, drams[j], backing)
-               for j in range(cfg.l2_banks)]
-        return ProtocolInstance(name, l1s, l2s)
-
-    if name == "SC-IDEAL":
-        l1s = [IdealL1Controller(i, engine, cfg, noc, amap)
-               for i in range(cfg.n_cores)]
-        l2s = [IdealL2Controller(j, engine, cfg, noc, amap, drams[j], backing)
-               for j in range(cfg.l2_banks)]
-        for l2 in l2s:
-            l2.wire_l1s(l1s)
-        return ProtocolInstance(name, l1s, l2s)
-
-    raise ConfigError(f"unknown protocol {name!r}")
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise ConfigError(f"unknown protocol {name!r}; choose from "
+                          f"{available_protocols()}")
+    return builder(name, engine, cfg, noc, amap, drams, backing)

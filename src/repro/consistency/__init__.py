@@ -1,5 +1,9 @@
 """Memory-consistency enforcement (core issue policy) and SC verification."""
 
+from repro.consistency.checker import (
+    AXIOMS, SCChecker, Violation, is_init_value,
+)
 from repro.consistency.model import ConsistencyPolicy, SCPolicy, WOPolicy, make_policy
 
-__all__ = ["ConsistencyPolicy", "SCPolicy", "WOPolicy", "make_policy"]
+__all__ = ["ConsistencyPolicy", "SCPolicy", "WOPolicy", "make_policy",
+           "SCChecker", "Violation", "AXIOMS", "is_init_value"]

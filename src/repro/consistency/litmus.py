@@ -28,6 +28,7 @@ from collections import defaultdict
 from typing import Dict, List, Tuple
 
 from repro.config import GPUConfig
+from repro.consistency.checker import is_init_value as _is_init
 from repro.gpu.trace import WarpTrace, compute_op, fence_op, load_op, store_op
 from repro.sim.gpusim import run_simulation
 
@@ -40,10 +41,6 @@ Y = 0x4000
 def _empty_traces(cfg: GPUConfig) -> List[List[WarpTrace]]:
     return [[WarpTrace(c, w) for w in range(cfg.warps_per_core)]
             for c in range(cfg.n_cores)]
-
-
-def _is_init(v) -> bool:
-    return isinstance(v, tuple) and len(v) == 2 and v[0] == "init"
 
 
 class LitmusResult:

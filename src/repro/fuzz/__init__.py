@@ -1,0 +1,43 @@
+"""Differential litmus fuzzing.
+
+Randomized cross-protocol SC checking: generate seeded multi-warp litmus
+programs (:mod:`~repro.fuzz.generator`), execute them under every
+registered coherence protocol (:mod:`~repro.fuzz.differential`), validate
+SC protocols against both the timestamp witness checker and an
+independent SC interleaving oracle (:mod:`~repro.fuzz.oracle`), and
+shrink any failure to a minimal, corpus-ready reproducer
+(:mod:`~repro.fuzz.shrink`, :mod:`~repro.fuzz.corpus`). The ``repro-fuzz``
+CLI (:mod:`~repro.fuzz.cli`) drives campaigns.
+"""
+
+from repro.fuzz.corpus import (
+    load_corpus, load_program, program_from_text, program_to_text,
+    save_program,
+)
+from repro.fuzz.differential import (
+    CampaignResult, DifferentialRunner, ExecutionOutcome, ProgramVerdict,
+    ProtocolExecutor, run_campaign,
+)
+from repro.fuzz.generator import (
+    FuzzKnobs, FuzzOp, FuzzProgram, generate_program,
+)
+from repro.fuzz.oracle import (
+    INIT, Observation, OracleExhausted, explain, observation_from_records,
+    sc_explainable,
+)
+from repro.fuzz.shrink import shrink_program
+from repro.fuzz.toy import (
+    ToyExecutor, broken_store_buffer_executor, reference_sc_executor,
+)
+
+__all__ = [
+    "FuzzKnobs", "FuzzOp", "FuzzProgram", "generate_program",
+    "Observation", "OracleExhausted", "INIT", "explain", "sc_explainable",
+    "observation_from_records",
+    "DifferentialRunner", "ProtocolExecutor", "ExecutionOutcome",
+    "ProgramVerdict", "CampaignResult", "run_campaign",
+    "shrink_program",
+    "ToyExecutor", "broken_store_buffer_executor", "reference_sc_executor",
+    "save_program", "load_program", "load_corpus", "program_to_text",
+    "program_from_text",
+]

@@ -1,0 +1,171 @@
+"""``repro-fuzz``: command-line differential fuzz campaigns.
+
+Usage::
+
+    repro-fuzz --seed 0 --programs 200            # default campaign
+    repro-fuzz --programs 50 --fence-density 0.5  # fence-heavy mix
+    repro-fuzz --protocols RCC,MESI --addrs 1     # single-block contention
+    repro-fuzz --replay tests/corpus              # replay a corpus
+    repro-fuzz --programs 1000 --save-failing out/  # archive reproducers
+
+Exit status is non-zero when any program fails differential checking, so
+the command slots straight into CI. ``make fuzz`` runs a long campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.coherence.registry import available_protocols
+from repro.config import GPUConfig
+from repro.errors import ReproError
+from repro.fuzz.corpus import corpus_files, load_program, save_program
+from repro.fuzz.differential import (
+    DifferentialRunner, run_campaign,
+)
+from repro.fuzz.generator import FuzzKnobs
+
+CONFIGS = {
+    "small": GPUConfig.small,
+    "bench": GPUConfig.bench,
+    "paper": GPUConfig.paper,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description="Differential litmus fuzzing: run randomized programs "
+                    "under every coherence protocol and cross-check SC "
+                    "protocols against the witness checker and an SC "
+                    "interleaving oracle.")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; program i uses seed+i (default 0)")
+    p.add_argument("--programs", type=int, default=200,
+                   help="number of programs to generate (default 200)")
+    p.add_argument("--protocols", default="all",
+                   help="comma-separated protocol list, or 'all' "
+                        f"({', '.join(available_protocols())})")
+    p.add_argument("--config", choices=sorted(CONFIGS), default="small",
+                   help="base machine configuration (default small)")
+    # Generator knobs.
+    p.add_argument("--cores", type=int, default=2)
+    p.add_argument("--warps", type=int, default=1,
+                   help="warps per core (default 1)")
+    p.add_argument("--ops", type=int, default=6,
+                   help="memory ops per warp (default 6)")
+    p.add_argument("--addrs", type=int, default=2,
+                   help="address-pool size in blocks (default 2)")
+    p.add_argument("--p-store", type=float, default=0.35)
+    p.add_argument("--p-atomic", type=float, default=0.05)
+    p.add_argument("--fence-density", type=float, default=0.0,
+                   help="P(fence after each mem op), 0..1 (default 0)")
+    p.add_argument("--sharing", choices=["uniform", "hot", "private"],
+                   default="uniform")
+    p.add_argument("--p-compute", type=float, default=0.0,
+                   help="P(compute padding before each mem op)")
+    # Failure handling.
+    p.add_argument("--no-shrink", action="store_true",
+                   help="keep failing programs at full size")
+    p.add_argument("--save-failing", metavar="DIR",
+                   help="write shrunk reproducers as corpus files to DIR")
+    # Replay mode.
+    p.add_argument("--replay", metavar="PATH", nargs="+",
+                   help="replay corpus files/directories instead of "
+                        "generating programs")
+    p.add_argument("--verbose", "-v", action="store_true",
+                   help="print a line per program")
+    return p
+
+
+def _knobs(args) -> FuzzKnobs:
+    return FuzzKnobs(
+        n_cores=args.cores, warps_per_core=args.warps,
+        ops_per_warp=args.ops, n_addrs=args.addrs,
+        p_store=args.p_store, p_atomic=args.p_atomic,
+        fence_density=args.fence_density, sharing=args.sharing,
+        p_compute=args.p_compute)
+
+
+def _runner(args) -> DifferentialRunner:
+    cfg = CONFIGS[args.config]()
+    protocols = (available_protocols() if args.protocols == "all"
+                 else [s.strip() for s in args.protocols.split(",") if s.strip()])
+    return DifferentialRunner(cfg=cfg, protocols=protocols)
+
+
+def _replay(args, runner: DifferentialRunner) -> int:
+    paths: List[str] = []
+    for p in args.replay:
+        if os.path.isdir(p):
+            paths.extend(corpus_files(p))
+        else:
+            paths.append(p)
+    if not paths:
+        print("no corpus files found", file=sys.stderr)
+        return 2
+    failed = 0
+    for path in paths:
+        program = load_program(path)
+        verdict = runner.check_program(program)
+        status = "PASS" if verdict.passed else "FAIL"
+        print(f"{status} {path} ({program.n_ops} ops, "
+              f"{len(program.warps)} warps)")
+        if not verdict.passed:
+            failed += 1
+            for reason in verdict.failures:
+                print(f"  {reason}")
+        elif args.verbose:
+            print(program.pretty())
+    print(f"[replayed {len(paths)} corpus programs, {failed} failing]")
+    return 1 if failed else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _main(args)
+    except (ReproError, ValueError, OSError) as exc:
+        # User-input errors (bad protocol, bad knob, missing corpus file)
+        # deserve one line, not a traceback.
+        print(f"repro-fuzz: {exc}", file=sys.stderr)
+        return 2
+
+
+def _main(args) -> int:
+    runner = _runner(args)
+    if args.replay:
+        return _replay(args, runner)
+
+    knobs = _knobs(args)
+    knobs.validate()
+
+    def progress(i, verdict):
+        if args.verbose:
+            status = "PASS" if verdict.passed else "FAIL"
+            print(f"[{i + 1}/{args.programs}] {status} "
+                  f"{verdict.program.name}")
+
+    result = run_campaign(runner, seed=args.seed, n_programs=args.programs,
+                          knobs=knobs, shrink=not args.no_shrink,
+                          on_program=progress)
+    print(result.render())
+    for report in result.failures:
+        print()
+        print(report.describe())
+    if args.save_failing and result.failures:
+        os.makedirs(args.save_failing, exist_ok=True)
+        for report in result.failures:
+            program = report.shrunk or report.program
+            path = os.path.join(args.save_failing, f"{program.name}.trace")
+            save_program(path, program,
+                         comments=[f"reasons: {'; '.join(report.reasons)}"])
+            print(f"reproducer written to {path}")
+    return 0 if result.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

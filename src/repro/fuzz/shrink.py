@@ -1,0 +1,133 @@
+"""Automatic failure minimization (delta debugging for litmus programs).
+
+Given a failing program and a ``still_fails`` predicate (typically "the
+differential runner still reports a failure"), the shrinker greedily
+applies reductions, keeping any candidate that still fails:
+
+1. **drop warps** — remove whole warps, largest first;
+2. **drop ops** — per warp, remove chunks of ops, halving the chunk size
+   down to single ops (classic ddmin);
+3. **merge addresses** — rewrite a higher slot onto a lower one, shrinking
+   the address pool.
+
+Passes repeat until a full sweep makes no progress (or the attempt budget
+runs out — each attempt re-executes the program under every protocol, so
+the budget bounds campaign time). The result is :meth:`normalized
+<repro.fuzz.generator.FuzzProgram.normalized>`: dense warp ids, slots
+renumbered in first-use order — the canonical form checked into the
+regression corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.fuzz.generator import FuzzOp, FuzzProgram
+
+
+class _Budget:
+    def __init__(self, n: int):
+        self.left = n
+
+    def spend(self) -> bool:
+        if self.left <= 0:
+            return False
+        self.left -= 1
+        return True
+
+
+def _with_warps(program: FuzzProgram,
+                warps: Dict[Tuple[int, int], List[FuzzOp]]) -> FuzzProgram:
+    return FuzzProgram(n_addrs=program.n_addrs, warps=warps,
+                       name=program.name, seed=program.seed)
+
+
+def _try(candidate: FuzzProgram, still_fails: Callable[[FuzzProgram], bool],
+         budget: _Budget) -> Optional[FuzzProgram]:
+    if candidate.n_mem_ops == 0:
+        return None
+    if not budget.spend():
+        return None
+    return candidate if still_fails(candidate) else None
+
+
+def _drop_warps(program: FuzzProgram, still_fails, budget) -> FuzzProgram:
+    changed = True
+    while changed and budget.left > 0:
+        changed = False
+        if len(program.warps) <= 1:
+            break
+        # Try removing the largest warp first: biggest win per attempt.
+        for key in sorted(program.warps,
+                          key=lambda k: -len(program.warps[k])):
+            warps = {k: v for k, v in program.warps.items() if k != key}
+            kept = _try(_with_warps(program, warps), still_fails, budget)
+            if kept is not None:
+                program = kept
+                changed = True
+                break
+    return program
+
+
+def _drop_ops(program: FuzzProgram, still_fails, budget) -> FuzzProgram:
+    for key in sorted(program.warps):
+        ops = program.warps[key]
+        chunk = max(1, len(ops) // 2)
+        while chunk >= 1 and budget.left > 0:
+            i = 0
+            ops = program.warps[key]
+            while i < len(ops) and budget.left > 0:
+                candidate_ops = ops[:i] + ops[i + chunk:]
+                warps = dict(program.warps)
+                if candidate_ops:
+                    warps[key] = candidate_ops
+                else:
+                    warps.pop(key)
+                    if not warps:
+                        i += chunk
+                        continue
+                kept = _try(_with_warps(program, warps), still_fails, budget)
+                if kept is not None:
+                    program = kept
+                    ops = program.warps.get(key, [])
+                else:
+                    i += chunk
+            chunk //= 2
+    return program
+
+
+def _merge_slots(program: FuzzProgram, still_fails, budget) -> FuzzProgram:
+    for hi in sorted(program.used_slots(), reverse=True):
+        for lo in sorted(program.used_slots()):
+            if lo >= hi or budget.left <= 0:
+                break
+            warps = {
+                k: [FuzzOp(op.kind, slot=lo, cycles=op.cycles)
+                    if op.is_mem and op.slot == hi else op
+                    for op in ops]
+                for k, ops in program.warps.items()
+            }
+            kept = _try(_with_warps(program, warps), still_fails, budget)
+            if kept is not None:
+                program = kept
+                break
+    return program
+
+
+def shrink_program(program: FuzzProgram,
+                   still_fails: Callable[[FuzzProgram], bool],
+                   max_attempts: int = 300) -> FuzzProgram:
+    """Minimize ``program`` while ``still_fails`` holds; returns the
+    normalized minimal reproducer (at worst the input, normalized)."""
+    budget = _Budget(max_attempts)
+    best = program
+    while budget.left > 0:
+        before = (best.n_ops, len(best.warps), len(best.used_slots()))
+        best = _drop_warps(best, still_fails, budget)
+        best = _drop_ops(best, still_fails, budget)
+        best = _merge_slots(best, still_fails, budget)
+        if (best.n_ops, len(best.warps), len(best.used_slots())) == before:
+            break
+    shrunk = best.normalized()
+    shrunk.name = f"{program.name}-shrunk"
+    return shrunk

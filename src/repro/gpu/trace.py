@@ -12,7 +12,7 @@ are kept in traces).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Set
 
 from repro.common.types import MemOpKind
 from repro.errors import TraceError
@@ -84,6 +84,11 @@ class WarpTrace:
     @property
     def n_mem_ops(self) -> int:
         return sum(1 for op in self.ops if op.kind.is_global_mem)
+
+    def mem_blocks(self, block_bytes: int) -> Set[int]:
+        """Block base addresses this warp's global memory ops touch."""
+        return {(op.addr // block_bytes) * block_bytes
+                for op in self.ops if op.kind.is_global_mem}
 
     def validate(self, n_warps_in_core: int) -> None:
         """Sanity-check barrier matching: every warp in a core must reach

@@ -313,6 +313,22 @@ class Harness:
         return exp
 
     # ------------------------------------------------------------------
+    # Differential fuzz campaign (correctness, not a paper figure)
+    # ------------------------------------------------------------------
+    def fuzz(self, n_programs: int = 50,
+             seed: Optional[int] = None) -> ExperimentResult:
+        """Differential fuzz: random programs under every protocol,
+        SC protocols cross-checked against the witness checker and the
+        SC interleaving oracle (see :mod:`repro.fuzz`)."""
+        # Imported lazily: repro.fuzz.differential imports ExperimentResult
+        # from this module, so a top-level import would be circular.
+        from repro.fuzz import DifferentialRunner, run_campaign
+        runner = DifferentialRunner(cfg=GPUConfig.small())
+        result = run_campaign(runner, seed=self.seed if seed is None
+                              else seed, n_programs=n_programs)
+        return result.as_experiment()
+
+    # ------------------------------------------------------------------
     # Tables
     # ------------------------------------------------------------------
     def table1(self) -> ExperimentResult:
@@ -382,4 +398,5 @@ ALL_EXPERIMENTS: Dict[str, str] = {
     "table3": "table3",
     "table4": "table4",
     "table5": "table5",
+    "fuzz": "fuzz",
 }

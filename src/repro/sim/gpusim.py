@@ -87,6 +87,23 @@ class GPUSimulator:
     def _core_done(self, core_id: int) -> None:
         self._cores_done += 1
 
+    def final_memory(self) -> Dict[int, Any]:
+        """Architectural memory after the run: block base address -> the
+        data token of the block's last write (blocks never written are
+        absent). The DRAM backing store holds written-back values; blocks
+        still resident in an L2 are read from the (stable) line there."""
+        mem: Dict[int, Any] = dict(self.backing)
+        for l2 in self.proto.l2s:
+            cache = getattr(l2, "cache", None)
+            if cache is None:
+                continue
+            for line in cache.lines():
+                if line.value is None:
+                    continue
+                if getattr(line.state, "stable", True):
+                    mem[line.addr] = line.value
+        return mem
+
     def run(self) -> SimResult:
         for l1 in self.proto.l1s:
             start = getattr(l1, "start", None)
@@ -118,6 +135,7 @@ class GPUSimulator:
             op_logs=op_logs,
             rollovers=(self.proto.rollover.rollovers
                        if self.proto.rollover else 0),
+            final_memory=self.final_memory(),
         )
         return self.result
 

@@ -21,13 +21,17 @@ class SimResult:
                  cores: List[Any], l1s: List[Any], l2s: List[Any],
                  noc: Any, drams: List[Any], virtual_channels: int,
                  op_logs: Optional[List[Any]] = None,
-                 rollovers: int = 0):
+                 rollovers: int = 0,
+                 final_memory: Optional[Dict[int, Any]] = None):
         self.protocol = protocol
         self.workload = workload
         self.cycles = cycles
         self.virtual_channels = virtual_channels
         self.op_logs = op_logs or []
         self.rollovers = rollovers
+        #: Block base address -> last-written data token (see
+        #: :meth:`GPUSimulator.final_memory`); written blocks only.
+        self.final_memory = final_memory or {}
 
         # ---- core-side aggregation ----
         self.mem_ops = sum(c.stats.mem_ops for c in cores)

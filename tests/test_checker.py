@@ -5,7 +5,10 @@ that never fires is worthless."""
 import pytest
 
 from repro.common.types import MemOpKind
-from repro.consistency.checker import SCChecker
+from repro.consistency.checker import (
+    AXIOM_ATOMICITY, AXIOM_COHERENCE, AXIOM_PROGRAM_ORDER, AXIOM_READS_FROM,
+    AXIOMS, SCChecker, Violation, is_init_value,
+)
 from repro.errors import ConsistencyViolation
 from repro.gpu.warp import MemOpRecord
 
@@ -153,3 +156,83 @@ def test_blocks_checked_independently():
         load(BLOCK, 1, 1, ts=25, read="B"),
     ]
     assert SCChecker().check(ops) == []
+
+
+# ----------------------------------------------------------------------
+# Atomic read-half edge cases
+# ----------------------------------------------------------------------
+
+def test_first_atomic_in_coherence_order_reads_init():
+    """The atomic that serializes first sees no predecessor: its read
+    half must return the initial value, and that is legal."""
+    ops = [
+        op(MemOpKind.ATOMIC, 0, 0, 0, 0, ts=10, ak=1, value="A", read=INIT0),
+        op(MemOpKind.ATOMIC, 0, 1, 0, 0, ts=20, ak=2, value="B", read="A"),
+        load(0, 2, 0, ts=30, read="B"),
+    ]
+    assert SCChecker().check(ops) == []
+
+
+def test_non_first_atomic_reading_init_flagged():
+    """An atomic that is *not* first in coherence order but still read the
+    initial value jumped over its predecessor (lost update)."""
+    ops = [
+        store(0, 0, 0, ts=10, ak=1, tag="A"),
+        op(MemOpKind.ATOMIC, 0, 1, 0, 0, ts=20, ak=2, value="B", read=INIT0),
+    ]
+    v = SCChecker().check(ops)
+    assert any(x.axiom == AXIOM_ATOMICITY for x in v)
+
+
+def test_atomic_value_missing_from_coherence_order():
+    rec = op(MemOpKind.ATOMIC, 0, 1, 0, 0, ts=20, ak=2, value="B",
+             read=INIT0)
+    rec.value = None  # write half never serialized a value
+    v = SCChecker().check([rec])
+    assert any(x.axiom == AXIOM_COHERENCE for x in v)
+    assert any(x.axiom == AXIOM_ATOMICITY for x in v)
+
+
+# ----------------------------------------------------------------------
+# Structured violation API
+# ----------------------------------------------------------------------
+
+def test_axiom_constants_cover_all_violations():
+    assert set(AXIOMS) == {AXIOM_PROGRAM_ORDER, AXIOM_COHERENCE,
+                           AXIOM_READS_FROM, AXIOM_ATOMICITY}
+
+
+def test_per_axiom_methods_return_lists():
+    checker = SCChecker()
+    good = [store(0, 0, 0, ts=10, ak=1, tag="A"),
+            load(0, 1, 0, ts=20, read="A")]
+    assert checker.check_program_order(good) == []
+    order, coh = checker.coherence_order(good)
+    assert coh == []
+    assert [s.value for s in order[0]] == ["A"]
+    assert checker.check_reads_from(good, order) == []
+
+    bad = [load(0, 0, 0, ts=100, read=INIT0),
+           load(0, 0, 1, ts=50, read=INIT0)]
+    po = checker.check_program_order(bad)
+    assert all(isinstance(v, Violation) for v in po)
+    assert all(v.axiom == AXIOM_PROGRAM_ORDER for v in po)
+
+
+def test_violation_as_dict_and_exception_payload():
+    ops = [load(0, 1, 3, ts=5, read="garbage")]
+    v = SCChecker().check(ops)
+    d = v[0].as_dict()
+    assert d["axiom"] == AXIOM_READS_FROM
+    assert (d["core"], d["prog_index"]) == (1, 3)
+    with pytest.raises(ConsistencyViolation) as exc_info:
+        SCChecker().check_or_raise(ops)
+    assert exc_info.value.violations == v
+
+
+def test_is_init_value():
+    assert is_init_value(INIT0)
+    assert is_init_value(("init", 128))
+    assert not is_init_value(("A", 0))
+    assert not is_init_value("init")
+    assert not is_init_value(None)
