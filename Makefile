@@ -3,14 +3,20 @@
 
 PY       ?= python
 PYPATH   := PYTHONPATH=src
+JOBS     ?= 4
 
-.PHONY: test test-fast fuzz fuzz-smoke bench report
+.PHONY: test test-fast test-exec fuzz fuzz-smoke bench report report-par \
+        clean-cache
 
 test:            ## tier-1: the full test suite
 	$(PYPATH) $(PY) -m pytest -x -q
 
 test-fast:       ## the suite minus the bounded fuzz campaigns
 	$(PYPATH) $(PY) -m pytest -x -q -m "not fuzz_smoke"
+
+test-exec:       ## sweep-executor battery: equivalence, cache, faults
+	$(PYPATH) $(PY) -m pytest -x -q tests/test_exec_parallel.py \
+	    tests/test_exec_cache.py tests/test_exec_fault.py
 
 fuzz-smoke:      ## just the bounded differential fuzz campaigns (<30s)
 	$(PYPATH) $(PY) -m pytest -x -q -m fuzz_smoke
@@ -24,3 +30,9 @@ bench:           ## paper figures/tables under pytest-benchmark
 
 report:          ## regenerate every experiment with paper-vs-measured
 	$(PYPATH) $(PY) -m repro.harness.runner all
+
+report-par:      ## same, fanned out over JOBS worker processes
+	$(PYPATH) $(PY) -m repro.harness.runner all --jobs $(JOBS)
+
+clean-cache:     ## drop the on-disk sweep result cache
+	rm -rf .rcc-cache

@@ -6,14 +6,23 @@ pytest-benchmark timing the full experiment, then asserts the qualitative
 harness instance caches simulation runs within a session so each figure's
 benchmark measures its own incremental work.
 
+The harness routes all simulations through the sweep executor
+(:mod:`repro.exec`): set ``RCC_JOBS=N`` to fan independent cells out over
+N worker processes, and ``RCC_CACHE_DIR=path`` to replay unchanged cells
+from the on-disk result cache — results are identical either way, only
+the wall clock moves.
+
 Intensity is kept low so the full suite finishes in minutes; pass
 ``--benchmark-only`` as usual. For paper-scale runs use the CLI
-(``rcc-repro all --intensity 1.0``).
+(``rcc-repro all --intensity 1.0 --jobs 4``).
 """
+
+import os
 
 import pytest
 
 from repro.config import GPUConfig
+from repro.exec import ResultCache, SweepExecutor
 from repro.harness.experiments import Harness
 
 BENCH_INTENSITY = 0.15
@@ -21,7 +30,11 @@ BENCH_INTENSITY = 0.15
 
 @pytest.fixture(scope="session")
 def harness() -> Harness:
-    return Harness(cfg=GPUConfig.bench(), intensity=BENCH_INTENSITY)
+    cache_dir = os.environ.get("RCC_CACHE_DIR")
+    executor = SweepExecutor(
+        cache=ResultCache(cache_dir) if cache_dir else None)
+    return Harness(cfg=GPUConfig.bench(), intensity=BENCH_INTENSITY,
+                   executor=executor)
 
 
 def run_once(benchmark, fn):

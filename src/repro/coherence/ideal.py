@@ -65,7 +65,7 @@ class IdealL2Controller(MESIL2Controller):
             # Instant permissions: drop every sharer's copy right now —
             # including the requester's own L1 (sibling warps may have
             # refetched the block since the writer dropped its copy).
-            for sharer in line.sharers:
+            for sharer in sorted(line.sharers):
                 self.stats.invalidations_sent += 1
                 self._l1_by_endpoint(sharer).magic_invalidate(block)
             line.sharers.clear()
@@ -78,7 +78,7 @@ class IdealL2Controller(MESIL2Controller):
 
     def _on_evict(self, line: CacheLine) -> None:
         self.stats.evictions += 1
-        for sharer in line.sharers:
+        for sharer in sorted(line.sharers):
             self._l1_by_endpoint(sharer).magic_invalidate(line.addr)
         line.sharers.clear()
         if line.dirty:

@@ -273,7 +273,9 @@ class MESIL2Controller(L2ControllerBase):
             # Invalidate every sharer, *including* the requesting core's L1:
             # the writer dropped its own copy at issue, but sibling warps of
             # the same SM may have refetched the block since.
-            sharers = set(line.sharers)
+            # Sorted so the invalidation order (and thus timing) never
+            # depends on set iteration order, i.e. on PYTHONHASHSEED.
+            sharers = sorted(line.sharers)
             if not sharers:
                 self._apply_write(msg, line, atomic)
                 return
@@ -362,8 +364,9 @@ class MESIL2Controller(L2ControllerBase):
 
     def _on_evict(self, line: CacheLine) -> None:
         self.stats.evictions += 1
-        # Inclusive directory: recall every sharer's copy.
-        for sharer in line.sharers:
+        # Inclusive directory: recall every sharer's copy (sorted: the
+        # recall order must not depend on set iteration order).
+        for sharer in sorted(line.sharers):
             self.stats.invalidations_sent += 1
             self.send(sharer, MsgKind.INV, line.addr, meta={"recall": True})
         line.sharers.clear()

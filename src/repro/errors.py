@@ -48,6 +48,15 @@ class DeadlockError(SimulationError):
         super().__init__(msg)
 
 
+class HarnessError(ReproError):
+    """A sweep cell failed in the execution engine after exhausting its
+    retry budget (worker crash, timeout, or broken process pool).
+
+    Raised instead of executor internals such as ``BrokenProcessPool`` so
+    the CLI and tests see one stable, library-owned failure type.
+    """
+
+
 class ConsistencyViolation(ReproError):
     """The SC witness checker found an execution that is not sequentially
     consistent (or violates coherence's per-location write serialization)."""

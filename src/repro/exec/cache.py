@@ -1,0 +1,119 @@
+"""On-disk result cache for sweep cells (``.rcc-cache/``).
+
+One JSON file per cell, named by the cell's content hash
+(:func:`repro.exec.cells.cell_key`). Because the key covers the whole
+``(GPUConfig, workload+intensity, protocol, seed, library version)``
+tuple, invalidation is automatic: change any input and the key changes,
+so the old entry is simply never read again. Corrupted or truncated
+files are detected on read, evicted, and recomputed — a damaged cache can
+slow a sweep down but never change its results.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or killed
+run cannot leave a half-written entry behind for the next one to trip on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.sim.results import SimResult
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".rcc-cache"
+
+#: Bumped if the cache *file* envelope (not the result payload) changes.
+CACHE_FORMAT = 1
+
+
+class ResultCache:
+    """Content-addressed store of :class:`SimResult` payloads."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root or os.environ.get("RCC_CACHE_DIR",
+                                           DEFAULT_CACHE_DIR)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[SimResult]:
+        """The cached result for ``key``, or None on miss.
+
+        Any unreadable entry — bad JSON, wrong envelope, mismatched key,
+        payload that fails reconstruction — is deleted and treated as a
+        miss so the cell is recomputed instead of crashing the sweep.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                blob = json.load(f)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, UnicodeDecodeError):
+            self._evict(path)
+            self.misses += 1
+            return None
+        try:
+            if blob["format"] != CACHE_FORMAT or blob["key"] != key:
+                raise ValueError("cache envelope mismatch")
+            result = SimResult.from_payload(blob["result"])
+        except (KeyError, TypeError, ValueError, AttributeError):
+            self._evict(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult,
+            cell: Optional[Dict[str, Any]] = None) -> bool:
+        """Store ``result`` under ``key``; returns False when skipped.
+
+        Results carrying per-op logs (``record_ops`` runs) are not cached:
+        the payload deliberately drops op logs, so replaying such an entry
+        would silently return less than the original run produced.
+        """
+        if result.op_logs:
+            return False
+        os.makedirs(self.root, exist_ok=True)
+        blob = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "cell": cell or {},
+            "result": result.to_payload(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(blob, f)
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return True
+
+    def clear(self) -> None:
+        """Delete the whole cache directory (``make clean-cache``)."""
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    def _evict(self, path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        self.evictions += 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<ResultCache {self.root!r} hits={self.hits} "
+                f"misses={self.misses} evictions={self.evictions}>")

@@ -1,0 +1,314 @@
+"""The sweep execution engine: fan independent cells out over processes.
+
+The paper's evaluation is a grid of independent simulations (12 workloads
+x 6 protocols per figure), so sweep throughput — not any single run — is
+what bounds iteration time. :class:`SweepExecutor` schedules such grids:
+
+* ``jobs=1`` (the default, or ``RCC_JOBS`` in the environment) runs
+  serially in-process, preserving the historical bit-identical behavior;
+* ``jobs>1`` fans cells out over a ``ProcessPoolExecutor`` (``fork``
+  start method where available, so workers inherit the loaded modules and
+  the parent's hash seed — a prerequisite for replaying identical runs);
+* when process pools are unavailable (restricted environments, or
+  ``RCC_NO_MP=1``) the engine degrades gracefully to in-process serial
+  execution rather than failing;
+* each cell gets an optional wall-clock ``timeout`` and exactly one
+  retry in a fresh single-worker pool; a cell that still fails surfaces
+  as :class:`~repro.errors.HarnessError` (never a raw
+  ``BrokenProcessPool``), with every other cell's result unaffected;
+* results come back in submission order regardless of completion order,
+  so downstream aggregation is order-deterministic.
+
+Layered on top is the content-keyed on-disk result cache
+(:mod:`repro.exec.cache`): ``run_cells`` consults it before scheduling
+and fills it after computing, making warm re-runs near-instant.
+
+Determinism contract: the simulator is a deterministic function of the
+cell, and workers are forked replicas evaluating that same function, so
+``jobs=N`` produces results identical to serial execution — the
+equivalence battery in ``tests/test_exec_parallel.py`` enforces this for
+every experiment.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import HarnessError
+from repro.exec.cache import ResultCache
+from repro.exec.cells import SimCell, cell_key, run_cell
+from repro.sim.results import SimResult
+
+
+def _timed_call(fn: Callable[[Any], Any], item: Any) -> Tuple[float, Any]:
+    """Worker-side wrapper: run one item and report its wall time (module
+    level so it pickles by reference into worker processes)."""
+    t0 = time.perf_counter()
+    out = fn(item)
+    return time.perf_counter() - t0, out
+
+
+def _percentile(samples: List[float], p: float) -> float:
+    """Nearest-rank percentile of a non-empty, unsorted sample list."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(p / 100.0 * len(ordered) + 0.5)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class SweepStats:
+    """What one ``run_cells``/``map`` invocation did, and how fast."""
+
+    n_cells: int = 0
+    n_cached: int = 0
+    n_computed: int = 0
+    retries: int = 0
+    wall: float = 0.0
+    mode: str = "serial"
+    jobs: int = 1
+    #: Per computed cell wall time, in submission order.
+    cell_times: List[float] = field(default_factory=list)
+
+    @property
+    def cells_per_second(self) -> float:
+        return self.n_cells / self.wall if self.wall > 0 else 0.0
+
+    def render(self) -> str:
+        """One-line throughput summary printed after each sweep."""
+        parts = [f"{self.n_cells} cells"]
+        if self.n_cached:
+            parts.append(f"{self.n_cached} cached")
+        if self.retries:
+            parts.append(f"{self.retries} retried")
+        head = ", ".join(parts)
+        line = (f"[sweep: {head} in {self.wall:.2f}s — "
+                f"{self.cells_per_second:.1f} cells/s")
+        if self.cell_times:
+            p50 = _percentile(self.cell_times, 50)
+            p95 = _percentile(self.cell_times, 95)
+            line += f"; per-cell p50 {p50 * 1000:.0f}ms p95 {p95 * 1000:.0f}ms"
+        line += f"; mode={self.mode} jobs={self.jobs}]"
+        return line
+
+
+class SweepExecutor:
+    """Runs batches of independent work items, optionally in parallel and
+    optionally through the on-disk result cache."""
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 timeout: Optional[float] = None,
+                 worker: Callable[[SimCell], SimResult] = None,
+                 on_summary: Optional[Callable[[str], None]] = None):
+        if jobs is None:
+            jobs = int(os.environ.get("RCC_JOBS", "1") or 1)
+        self.jobs = max(1, jobs)
+        self.cache = cache
+        self.timeout = timeout
+        self.worker = worker if worker is not None else run_cell
+        self.on_summary = on_summary
+        self.last_stats: Optional[SweepStats] = None
+
+    # ------------------------------------------------------------------
+    # Cell-level entry point (cache-aware)
+    # ------------------------------------------------------------------
+    def run_cells(self, cells: Sequence[SimCell]) -> List[SimResult]:
+        """Run a batch of cells; results in input order.
+
+        Cached cells are replayed from disk; the rest are scheduled on the
+        pool (or serially) and written back to the cache.
+        """
+        t0 = time.perf_counter()
+        results: List[Optional[SimResult]] = [None] * len(cells)
+        keys: List[Optional[str]] = [None] * len(cells)
+        pending: List[int] = []
+        for i, cell in enumerate(cells):
+            if self.cache is not None:
+                keys[i] = cell_key(cell)
+                hit = self.cache.get(keys[i])
+                if hit is not None:
+                    results[i] = hit
+                    continue
+            pending.append(i)
+
+        if pending:
+            computed = self._map([cells[i] for i in pending], self.worker,
+                                 [cells[i].label for i in pending])
+            for i, res in zip(pending, computed):
+                results[i] = res
+                if self.cache is not None and res is not None:
+                    self.cache.put(keys[i], res, cell={
+                        "protocol": cells[i].protocol,
+                        "workload": cells[i].workload,
+                        "intensity": cells[i].intensity,
+                        "seed": cells[i].seed,
+                        "ts_overrides": list(cells[i].ts_overrides),
+                    })
+        else:
+            self._map([], self.worker, [])
+
+        stats = self.last_stats
+        stats.n_cells = len(cells)
+        stats.n_cached = len(cells) - len(pending)
+        stats.wall = time.perf_counter() - t0
+        if self.on_summary is not None:
+            self.on_summary(stats.render())
+        return results
+
+    # ------------------------------------------------------------------
+    # Generic entry point (the fuzz campaign uses this directly)
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any],
+            labels: Optional[Sequence[str]] = None) -> List[Any]:
+        """Apply ``fn`` to every item with the engine's scheduling policy
+        (pool/serial, timeout, one retry, HarnessError on failure).
+        Results are returned in input order."""
+        t0 = time.perf_counter()
+        out = self._map(items, fn, list(labels) if labels is not None
+                        else [f"item[{i}]" for i in range(len(items))])
+        self.last_stats.n_cells = len(items)
+        self.last_stats.wall = time.perf_counter() - t0
+        if self.on_summary is not None:
+            self.on_summary(self.last_stats.render())
+        return out
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _map(self, items: Sequence[Any], fn: Callable[[Any], Any],
+             labels: Sequence[str]) -> List[Any]:
+        stats = SweepStats(jobs=self.jobs)
+        self.last_stats = stats
+        if not items:
+            return []
+        if self.jobs <= 1:
+            return self._map_serial(items, fn, labels, stats)
+        pool = self._make_pool(self.jobs)
+        if pool is None:
+            stats.mode = "serial-fallback"
+            return self._map_serial(items, fn, labels, stats)
+        stats.mode = "fork-pool"
+        return self._map_pool(pool, items, fn, labels, stats)
+
+    def _map_serial(self, items: Sequence[Any], fn: Callable[[Any], Any],
+                    labels: Sequence[str], stats: SweepStats) -> List[Any]:
+        out: List[Any] = []
+        errors: List[str] = []
+        for item, label in zip(items, labels):
+            try:
+                elapsed, value = _timed_call(fn, item)
+            except Exception as exc:
+                stats.retries += 1
+                try:
+                    elapsed, value = _timed_call(fn, item)
+                except Exception as exc2:
+                    errors.append(f"{label}: "
+                                  f"{type(exc2).__name__}: {exc2}")
+                    out.append(None)
+                    continue
+            stats.n_computed += 1
+            stats.cell_times.append(elapsed)
+            out.append(value)
+        if errors:
+            raise HarnessError(
+                f"{len(errors)} cell(s) failed after retry: "
+                + "; ".join(errors))
+        return out
+
+    def _map_pool(self, pool, items: Sequence[Any],
+                  fn: Callable[[Any], Any], labels: Sequence[str],
+                  stats: SweepStats) -> List[Any]:
+        out: List[Any] = [None] * len(items)
+        failed: List[Tuple[int, BaseException]] = []
+        wedged = False
+        try:
+            futures = [pool.submit(_timed_call, fn, item) for item in items]
+            for i, fut in enumerate(futures):
+                try:
+                    elapsed, value = fut.result(timeout=self.timeout)
+                except TimeoutError as exc:
+                    wedged = True
+                    failed.append((i, exc))
+                    continue
+                except Exception as exc:
+                    failed.append((i, exc))
+                    continue
+                stats.n_computed += 1
+                stats.cell_times.append(elapsed)
+                out[i] = value
+        finally:
+            self._shutdown_pool(pool, force=wedged)
+
+        errors: List[str] = []
+        for i, first_exc in failed:
+            stats.retries += 1
+            try:
+                elapsed, value = self._run_isolated(fn, items[i])
+            except Exception as exc:
+                errors.append(
+                    f"{labels[i]}: {type(first_exc).__name__}: {first_exc}"
+                    f" (retry: {type(exc).__name__}: {exc})")
+                continue
+            stats.n_computed += 1
+            stats.cell_times.append(elapsed)
+            out[i] = value
+        if errors:
+            raise HarnessError(
+                f"{len(errors)} cell(s) failed after retry: "
+                + "; ".join(errors))
+        return out
+
+    def _run_isolated(self, fn: Callable[[Any], Any],
+                      item: Any) -> Tuple[float, Any]:
+        """Retry one wedged/crashed cell in a fresh single-worker pool so
+        a poisoned worker cannot take the retry down with it."""
+        pool = self._make_pool(1)
+        if pool is None:
+            return _timed_call(fn, item)
+        wedged = False
+        try:
+            fut = pool.submit(_timed_call, fn, item)
+            try:
+                return fut.result(timeout=self.timeout)
+            except TimeoutError:
+                wedged = True
+                raise
+        finally:
+            self._shutdown_pool(pool, force=wedged)
+
+    @staticmethod
+    def _make_pool(workers: int):
+        """A fork-context process pool, or None when multiprocessing is
+        unusable here (missing primitives, sandboxing, RCC_NO_MP=1)."""
+        if os.environ.get("RCC_NO_MP"):
+            return None
+        try:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+            if "fork" in multiprocessing.get_all_start_methods():
+                ctx = multiprocessing.get_context("fork")
+            else:  # pragma: no cover - non-fork platforms
+                ctx = multiprocessing.get_context()
+            return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        except Exception:  # pragma: no cover - restricted environments
+            return None
+
+    @staticmethod
+    def _shutdown_pool(pool, force: bool = False) -> None:
+        """Shut the pool down; with ``force`` (a cell timed out and its
+        worker may be wedged) terminate workers first, since a plain
+        shutdown would block on the hung cell forever."""
+        if force:
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in list(
+                    (getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    if proc.is_alive():
+                        proc.terminate()
+                except Exception:  # pragma: no cover - best-effort reaping
+                    pass
+        pool.shutdown(wait=True)

@@ -22,6 +22,7 @@ from typing import List, Optional
 from repro.coherence.registry import available_protocols
 from repro.config import GPUConfig
 from repro.errors import ReproError
+from repro.exec import SweepExecutor
 from repro.fuzz.corpus import corpus_files, load_program, save_program
 from repro.fuzz.differential import (
     DifferentialRunner, run_campaign,
@@ -46,6 +47,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="base seed; program i uses seed+i (default 0)")
     p.add_argument("--programs", type=int, default=200,
                    help="number of programs to generate (default 200)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for the campaign (default: "
+                        "RCC_JOBS or 1; progress lines then print after "
+                        "the parallel phase)")
     p.add_argument("--protocols", default="all",
                    help="comma-separated protocol list, or 'all' "
                         f"({', '.join(available_protocols())})")
@@ -151,7 +156,8 @@ def _main(args) -> int:
 
     result = run_campaign(runner, seed=args.seed, n_programs=args.programs,
                           knobs=knobs, shrink=not args.no_shrink,
-                          on_program=progress)
+                          on_program=progress,
+                          executor=SweepExecutor(jobs=args.jobs))
     print(result.render())
     for report in result.failures:
         print()

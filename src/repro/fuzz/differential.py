@@ -304,34 +304,56 @@ class CampaignResult:
         return "\n".join(out)
 
 
+def _check_one(args) -> ProgramVerdict:
+    """Campaign worker: generate and check program ``i`` (module level so
+    the sweep executor can ship it to worker processes)."""
+    runner, seed_i, knobs = args
+    return runner.check_program(generate_program(seed_i, knobs))
+
+
 def run_campaign(runner: DifferentialRunner, seed: int, n_programs: int,
                  knobs: Optional[FuzzKnobs] = None,
                  shrink: bool = True,
                  max_shrinks: int = 5,
                  shrink_attempts: int = 300,
                  on_program: Optional[Callable[[int, ProgramVerdict], None]]
-                 = None) -> CampaignResult:
+                 = None,
+                 executor: Optional[Any] = None) -> CampaignResult:
     """Generate and differentially check ``n_programs`` programs seeded
-    ``seed .. seed+n_programs-1``; shrink up to ``max_shrinks`` failures."""
+    ``seed .. seed+n_programs-1``; shrink up to ``max_shrinks`` failures.
+
+    With a parallel :class:`~repro.exec.SweepExecutor` (``jobs > 1``) the
+    per-program checks fan out over worker processes; each program's seed
+    is fixed by its index, so the verdicts — and therefore the campaign
+    tallies and failure reports — are identical to a serial run.
+    Shrinking always happens in the parent (it is a sequential search).
+    """
     from repro.fuzz.shrink import shrink_program
 
     knobs = knobs or FuzzKnobs()
     result = CampaignResult(seed, n_programs, knobs)
     t0 = time.time()
-    for i in range(n_programs):
-        program = generate_program(seed + i, knobs)
-        verdict = runner.check_program(program)
+    if executor is not None and executor.jobs > 1:
+        verdicts: Any = executor.map(
+            _check_one, [(runner, seed + i, knobs)
+                         for i in range(n_programs)],
+            labels=[f"program[{seed + i}]" for i in range(n_programs)])
+    else:
+        verdicts = (runner.check_program(generate_program(seed + i, knobs))
+                    for i in range(n_programs))
+    for i, verdict in enumerate(verdicts):
         result.add_verdict(verdict)
         if on_program is not None:
             on_program(i, verdict)
         if verdict.passed:
             continue
-        report = FailureReport(program=program, reasons=verdict.failures)
+        report = FailureReport(program=verdict.program,
+                               reasons=verdict.failures)
         if shrink and len(result.failures) < max_shrinks:
             def still_fails(p: FuzzProgram) -> bool:
                 return not runner.check_program(p).passed
 
-            report.shrunk = shrink_program(program, still_fails,
+            report.shrunk = shrink_program(verdict.program, still_fails,
                                            max_attempts=shrink_attempts)
             report.shrunk_reasons = \
                 runner.check_program(report.shrunk).failures

@@ -11,6 +11,16 @@ from repro.gpu.trace import TraceOp, WarpTrace
 _op_seq = itertools.count()
 
 
+def reset_op_seq() -> None:
+    """Restart the op-record id counter (one simulation at a time runs per
+    process, and :class:`~repro.sim.gpusim.GPUSimulator` resets at build
+    time). Run-local ids make every run — and its written data tokens —
+    a pure function of its inputs, so replaying the same cell in another
+    process or from the result cache is byte-identical."""
+    global _op_seq
+    _op_seq = itertools.count()
+
+
 class MemOpRecord:
     """An in-flight (or completed) global memory operation.
 

@@ -11,18 +11,19 @@ number next to the measured one.
 
 from __future__ import annotations
 
-import dataclasses
 from statistics import geometric_mean
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.common.types import MemOpKind
 from repro.config import GPUConfig, PROTOCOLS
+from repro.exec import SimCell, SweepExecutor, canonical_overrides
 from repro.harness.complexity import table_v_rows
 from repro.harness.tables import render_table
-from repro.sim.gpusim import run_simulation
 from repro.sim.results import SimResult
-from repro.workloads import WORKLOADS, get_workload, inter_workgroup, \
-    intra_workgroup
+from repro.workloads import WORKLOADS, inter_workgroup
+
+#: One sweep cell as the experiments name it: (protocol, workload) or
+#: (protocol, workload, ts-override dict).
+RunSpec = Tuple[Any, ...]
 
 
 class ExperimentResult:
@@ -56,35 +57,80 @@ class ExperimentResult:
 
 
 class Harness:
-    """Runs and caches the simulations behind all experiments."""
+    """Runs and caches the simulations behind all experiments.
+
+    All simulation runs — single cells and whole figure grids alike —
+    route through one :meth:`run_cells` entry point on the sweep executor
+    (:mod:`repro.exec`), so ``--jobs N`` parallelism and the on-disk
+    result cache apply uniformly to every experiment. The default
+    executor is serial and cache-less, which reproduces the historical
+    in-process behavior exactly.
+    """
 
     def __init__(self, cfg: Optional[GPUConfig] = None,
-                 intensity: float = 0.25, seed: int = 1234):
+                 intensity: float = 0.25, seed: int = 1234,
+                 executor: Optional[SweepExecutor] = None):
         self.cfg = cfg or GPUConfig.bench()
         self.intensity = intensity
         self.seed = seed
+        self.executor = executor or SweepExecutor()
         self._cache: Dict[Tuple, SimResult] = {}
 
     # ------------------------------------------------------------------
+    def _canon(self, spec: RunSpec) -> Tuple[str, str, Tuple]:
+        protocol, workload = spec[0], spec[1]
+        overrides = spec[2] if len(spec) > 2 else None
+        return protocol, workload, canonical_overrides(overrides)
+
+    def _key(self, protocol: str, workload: str, overrides: Tuple) -> Tuple:
+        return (protocol, workload, self.intensity, self.seed, overrides)
+
+    def _cell(self, protocol: str, workload: str,
+              overrides: Tuple) -> SimCell:
+        return SimCell(cfg=self.cfg, protocol=protocol, workload=workload,
+                       intensity=self.intensity, seed=self.seed,
+                       ts_overrides=overrides)
+
+    def prefetch(self, specs: Iterable[RunSpec]) -> None:
+        """Run every not-yet-cached spec as one batch on the executor.
+
+        Every experiment declares its full simulation grid up front via
+        this method, which is what lets ``--jobs N`` fan the independent
+        cells out over worker processes.
+        """
+        todo: Dict[Tuple, SimCell] = {}
+        for spec in specs:
+            protocol, workload, overrides = self._canon(spec)
+            key = self._key(protocol, workload, overrides)
+            if key not in self._cache and key not in todo:
+                todo[key] = self._cell(protocol, workload, overrides)
+        if not todo:
+            return
+        results = self.executor.run_cells(list(todo.values()))
+        for key, result in zip(todo, results):
+            self._cache[key] = result
+
+    def run_cells(self, specs: Iterable[RunSpec]) -> List[SimResult]:
+        """Run (or replay) the given specs; results in input order."""
+        specs = list(specs)
+        self.prefetch(specs)
+        return [self._cache[self._key(*self._canon(s))] for s in specs]
+
     def run(self, protocol: str, workload: str,
             ts_overrides: Optional[Dict[str, Any]] = None) -> SimResult:
-        key = (protocol, workload, self.intensity, self.seed,
-               tuple(sorted((ts_overrides or {}).items())))
+        overrides = canonical_overrides(ts_overrides)
+        key = self._key(protocol, workload, overrides)
         if key not in self._cache:
-            cfg = self.cfg
-            if ts_overrides:
-                cfg = cfg.replace(
-                    ts=dataclasses.replace(cfg.ts, **ts_overrides))
-            wl = get_workload(workload, intensity=self.intensity,
-                              seed=self.seed)
-            self._cache[key] = run_simulation(
-                cfg, protocol, wl.generate(cfg), workload)
+            self.prefetch([(protocol, workload, ts_overrides)])
         return self._cache[key]
 
     def sweep(self, protocols: List[str], workloads: List[str],
               **kw) -> Dict[Tuple[str, str], SimResult]:
-        return {(p, w): self.run(p, w, **kw)
-                for w in workloads for p in protocols}
+        ts_overrides = kw.get("ts_overrides")
+        specs = [(p, w, ts_overrides) for w in workloads for p in protocols]
+        results = self.run_cells(specs)
+        return {(p, w): res
+                for (p, w, _), res in zip(specs, results)}
 
     @staticmethod
     def _gmean(values: List[float]) -> float:
@@ -102,6 +148,8 @@ class Harness:
             ["workload", "class", "stall_frac", "store_blame",
              "ld_lat", "st_lat", "st/ld", "ideal_speedup"],
         )
+        self.prefetch([(p, w) for w in WORKLOADS
+                       for p in ("MESI", "SC-IDEAL")])
         inter_ratio, inter_speedup, intra_speedup = [], [], []
         for name in WORKLOADS:
             base = self.run("MESI", name)
@@ -137,6 +185,7 @@ class Harness:
             "fraction of expired refetches the L2 can renew (right), RCC",
             ["workload", "class", "expired_frac", "renewable_frac"],
         )
+        self.prefetch([("RCC", w) for w in WORKLOADS])
         inter_expired, intra_expired, renewable = [], [], []
         for name in WORKLOADS:
             res = self.run("RCC", name)
@@ -168,6 +217,9 @@ class Harness:
             ["workload", "traffic(-R)", "traffic(+R)", "+R/-R",
              "expired(-P)", "expired(+P)", "+P/-P"],
         )
+        self.prefetch([("RCC", w, ov) for w in inter_workgroup()
+                       for ov in (None, {"renew_enabled": False},
+                                  {"predictor_enabled": False})])
         traffic_ratios, expired_ratios = [], []
         for name in inter_workgroup():
             plus_r = self.run("RCC", name)
@@ -204,6 +256,8 @@ class Harness:
              "resolve_TCS/MESI", "resolve_RCC/MESI"],
         )
         sc_protos = ("MESI", "TCS", "RCC")
+        self.prefetch([(p, w) for w in inter_workgroup()
+                       for p in sc_protos])
         rel_stall = {p: [] for p in sc_protos}
         rel_resolve = {p: [] for p in sc_protos}
         for name in inter_workgroup():
@@ -247,6 +301,7 @@ class Harness:
              "traffic_TCS", "traffic_TCW", "traffic_RCC"],
         )
         protos = ("MESI", "TCS", "TCW", "RCC")
+        self.prefetch([(p, w) for w in WORKLOADS for p in protos])
         agg = {("speed", p): {"inter": [], "intra": []} for p in protos}
         agg.update({("energy", p): {"inter": [], "intra": []}
                     for p in protos})
@@ -295,6 +350,8 @@ class Harness:
             "RCC-SC",
             ["workload", "class", "RCC-WO/RCC-SC", "TCW/RCC-SC"],
         )
+        self.prefetch([(p, w) for w in WORKLOADS
+                       for p in ("RCC", "RCC-WO", "TCW")])
         agg = {"RCC-WO": [], "TCW": []}
         for name in WORKLOADS:
             base = self.run("RCC", name)
@@ -325,7 +382,8 @@ class Harness:
         from repro.fuzz import DifferentialRunner, run_campaign
         runner = DifferentialRunner(cfg=GPUConfig.small())
         result = run_campaign(runner, seed=self.seed if seed is None
-                              else seed, n_programs=n_programs)
+                              else seed, n_programs=n_programs,
+                              executor=self.executor)
         return result.as_experiment()
 
     # ------------------------------------------------------------------

@@ -4,10 +4,21 @@ Usage::
 
     rcc-repro fig9                 # one experiment
     rcc-repro all                  # everything
+    rcc-repro all --jobs 4         # fan cells out over 4 worker processes
     rcc-repro all --report out.md  # also write a markdown report
     rcc-repro fig9 --intensity 0.5 --seed 7
 
 ``--quick`` runs a reduced intensity for smoke testing.
+
+Simulation results are cached under ``.rcc-cache/`` (override with
+``--cache-dir`` or ``RCC_CACHE_DIR``, disable with ``--no-cache``), keyed
+by a content hash of the full configuration, so a re-run after an
+unrelated edit replays from disk instead of resimulating. Parallelism
+defaults to ``RCC_JOBS`` (serial if unset); results are identical to a
+serial run either way.
+
+A failing experiment no longer aborts the rest: the runner reports it,
+continues with the remaining experiments, and exits non-zero at the end.
 """
 
 from __future__ import annotations
@@ -15,10 +26,12 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.config import GPUConfig
-from repro.harness.experiments import ALL_EXPERIMENTS, Harness
+from repro.exec import ResultCache, SweepExecutor
+from repro.harness.experiments import ALL_EXPERIMENTS, ExperimentResult, \
+    Harness
 from repro.harness.tables import render_markdown
 
 
@@ -41,6 +54,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "slow in this Python simulator)")
     p.add_argument("--report", metavar="FILE",
                    help="also write a markdown report to FILE")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for independent simulation cells "
+                        "(default: RCC_JOBS or 1 = serial)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="do not read or write the on-disk result cache")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="result cache directory (default: RCC_CACHE_DIR "
+                        "or .rcc-cache)")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-cell wall-clock timeout; a wedged cell is "
+                        "retried once in a fresh worker (default: none)")
     return p
 
 
@@ -54,33 +79,60 @@ def select(names: List[str]) -> List[str]:
     return names
 
 
+def build_report(results: List[ExperimentResult]) -> str:
+    """The markdown report for ``--report``, deterministic in its inputs."""
+    parts: List[str] = []
+    for result in results:
+        parts.append(f"## {result.title}\n")
+        parts.append(render_markdown(result.columns, result.rows))
+        if result.claims:
+            parts.append("\n**Paper vs measured:**\n")
+            for desc, (paper, measured) in result.claims.items():
+                parts.append(
+                    f"- {desc}: paper *{paper}*, measured *{measured}*")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def make_executor(args) -> SweepExecutor:
+    """The sweep executor the CLI flags describe."""
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return SweepExecutor(jobs=args.jobs, cache=cache,
+                         timeout=args.cell_timeout, on_summary=print)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     cfg = GPUConfig.paper() if args.paper_config else GPUConfig.bench()
     intensity = 0.1 if args.quick else args.intensity
-    harness = Harness(cfg=cfg, intensity=intensity, seed=args.seed)
+    harness = Harness(cfg=cfg, intensity=intensity, seed=args.seed,
+                      executor=make_executor(args))
 
-    report_parts = []
+    succeeded: List[ExperimentResult] = []
+    failures: List[Tuple[str, BaseException]] = []
     for name in select(args.experiments):
         start = time.time()
-        result = getattr(harness, ALL_EXPERIMENTS[name])()
+        try:
+            result = getattr(harness, ALL_EXPERIMENTS[name])()
+        except Exception as exc:  # noqa: BLE001 - report, then continue
+            failures.append((name, exc))
+            print(f"[{name} FAILED: {type(exc).__name__}: {exc}]",
+                  file=sys.stderr)
+            print()
+            continue
         elapsed = time.time() - start
         print(result.render())
         print(f"[{name} regenerated in {elapsed:.1f}s]")
         print()
-        if args.report:
-            report_parts.append(f"## {result.title}\n")
-            report_parts.append(render_markdown(result.columns, result.rows))
-            if result.claims:
-                report_parts.append("\n**Paper vs measured:**\n")
-                for desc, (paper, measured) in result.claims.items():
-                    report_parts.append(
-                        f"- {desc}: paper *{paper}*, measured *{measured}*")
-            report_parts.append("")
+        succeeded.append(result)
     if args.report:
         with open(args.report, "w") as f:
-            f.write("\n".join(report_parts))
+            f.write(build_report(succeeded))
         print(f"report written to {args.report}")
+    if failures:
+        print(f"{len(failures)} experiment(s) failed: "
+              + ", ".join(name for name, _ in failures), file=sys.stderr)
+        return 1
     return 0
 
 

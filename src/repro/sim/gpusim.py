@@ -25,6 +25,7 @@ from repro.consistency.model import make_policy
 from repro.errors import ConfigError, DeadlockError
 from repro.gpu.core import GPUCore
 from repro.gpu.trace import WarpTrace
+from repro.gpu.warp import reset_op_seq
 from repro.mem.dram import DRAMPartition
 from repro.noc.crossbar import Crossbar
 from repro.sim.results import SimResult
@@ -47,6 +48,7 @@ class GPUSimulator:
         self.workload_name = workload_name
         self.record_ops = record_ops
 
+        reset_op_seq()
         self.engine = Engine(max_cycles=cfg.max_cycles)
         self.amap = AddressMap(cfg.l1.block_bytes, cfg.l2_banks)
         self.noc = Crossbar(

@@ -13,6 +13,35 @@ from repro.common.types import MemOpKind
 from repro.noc.energy import EnergyBreakdown, EnergyModel
 from repro.stats.histogram import Histogram
 
+#: Bumped whenever the payload schema below changes shape, so stale cache
+#: entries written by older code are rejected instead of misread.
+PAYLOAD_VERSION = 1
+
+#: Plain-integer attributes copied verbatim by to_payload/from_payload.
+_PAYLOAD_SCALARS = (
+    "cycles", "virtual_channels", "rollovers",
+    "mem_ops", "sc_stalled_ops", "sc_stall_cycles", "structural_stalls",
+    "fence_ops", "fence_wait_cycles",
+    "l1_loads", "l1_load_hits", "l1_load_expired", "l1_renews",
+    "l1_invalidations",
+    "l2_gets", "l2_hits", "l2_misses", "l2_gets_expired", "l2_renew_grants",
+    "l2_invalidations_sent", "l2_store_lease_wait", "l2_evictions",
+    "total_flits", "total_msgs", "dram_reads", "dram_writes",
+)
+
+#: Memory-op kinds aggregated per kind in the stat bundle.
+_PAYLOAD_KINDS = (MemOpKind.LOAD, MemOpKind.STORE, MemOpKind.ATOMIC)
+
+
+def _encode_token(value: Any) -> Any:
+    """Data tokens are tuples of ints/strings (see ``CacheLine.value``);
+    JSON turns tuples into lists, so decoding restores them."""
+    return list(value) if isinstance(value, tuple) else value
+
+
+def _decode_token(value: Any) -> Any:
+    return tuple(value) if isinstance(value, list) else value
+
 
 class SimResult:
     """Stat bundle for one (protocol, workload, config) run."""
@@ -143,6 +172,75 @@ class SimResult:
         """Of expired-copy refetches, how many the L2 could renew
         (Fig. 6 right)."""
         return self.l2_renew_grants / max(1, self.l2_gets_expired)
+
+    # ------------------------------------------------------------------
+    # Serialization (the sweep executor's on-disk result cache)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """Full JSON-able snapshot of the stat bundle.
+
+        Everything the experiments and benchmarks read survives the round
+        trip — scalars, per-kind counters, latency histograms, traffic
+        groups, energy, and the architectural final memory. ``op_logs``
+        (per-op records from ``record_ops`` runs) are deliberately not
+        serialized; callers that need them must not cache.
+        """
+        payload: Dict[str, Any] = {
+            "payload_version": PAYLOAD_VERSION,
+            "protocol": self.protocol,
+            "workload": self.workload,
+        }
+        for name in _PAYLOAD_SCALARS:
+            payload[name] = getattr(self, name)
+        payload["mem_ops_by_kind"] = {
+            k.name: self.mem_ops_by_kind[k] for k in _PAYLOAD_KINDS}
+        payload["latency_sum_by_kind"] = {
+            k.name: self.latency_sum_by_kind[k] for k in _PAYLOAD_KINDS}
+        payload["sc_stall_by_blocker"] = {
+            k.name: self.sc_stall_by_blocker[k] for k in _PAYLOAD_KINDS}
+        payload["latency_hist"] = {
+            k.name: self.latency_hist[k].to_dict() for k in _PAYLOAD_KINDS}
+        payload["traffic_groups"] = dict(self.traffic_groups)
+        payload["energy"] = {
+            "router_dynamic": self.energy.router_dynamic,
+            "link_dynamic": self.energy.link_dynamic,
+            "static": self.energy.static,
+        }
+        payload["final_memory"] = [
+            [addr, _encode_token(value)]
+            for addr, value in sorted(self.final_memory.items())]
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SimResult":
+        """Rebuild a result serialized with :meth:`to_payload`."""
+        if payload.get("payload_version") != PAYLOAD_VERSION:
+            raise ValueError(
+                f"unsupported SimResult payload version: "
+                f"{payload.get('payload_version')!r}")
+        res = cls.__new__(cls)
+        res.protocol = payload["protocol"]
+        res.workload = payload["workload"]
+        for name in _PAYLOAD_SCALARS:
+            setattr(res, name, payload[name])
+        res.mem_ops_by_kind = {
+            k: payload["mem_ops_by_kind"][k.name] for k in _PAYLOAD_KINDS}
+        res.latency_sum_by_kind = {
+            k: payload["latency_sum_by_kind"][k.name]
+            for k in _PAYLOAD_KINDS}
+        res.sc_stall_by_blocker = {
+            k: payload["sc_stall_by_blocker"][k.name]
+            for k in _PAYLOAD_KINDS}
+        res.latency_hist = {
+            k: Histogram.from_dict(payload["latency_hist"][k.name])
+            for k in _PAYLOAD_KINDS}
+        res.traffic_groups = dict(payload["traffic_groups"])
+        res.energy = EnergyBreakdown(**payload["energy"])
+        res.final_memory = {
+            int(addr): _decode_token(value)
+            for addr, value in payload["final_memory"]}
+        res.op_logs = []
+        return res
 
     def as_dict(self) -> Dict[str, Any]:
         """Flat summary for tables / JSON dumps."""

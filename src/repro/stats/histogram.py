@@ -83,6 +83,33 @@ class Histogram:
                 self.min = bound if self.min is None else min(self.min, bound)
                 self.max = bound if self.max is None else max(self.max, bound)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot (inverse of :meth:`from_dict`)."""
+        return {
+            "max_value": self.max_value,
+            "buckets": list(self._buckets),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Histogram":
+        """Rebuild a histogram serialized with :meth:`to_dict`."""
+        h = cls(max_value=int(data["max_value"]))
+        buckets = list(data["buckets"])
+        if len(buckets) != len(h._buckets):
+            raise ValueError(
+                f"histogram bucket count mismatch: {len(buckets)} vs "
+                f"{len(h._buckets)}")
+        h._buckets = [int(n) for n in buckets]
+        h.count = int(data["count"])
+        h.total = int(data["total"])
+        h.min = None if data["min"] is None else int(data["min"])
+        h.max = None if data["max"] is None else int(data["max"])
+        return h
+
     def summary(self) -> Dict[str, float]:
         return {
             "count": self.count,

@@ -1,0 +1,185 @@
+"""Correctness of the content-keyed on-disk result cache.
+
+A cache hit must return the exact payload that was computed; any change
+to any key component must miss; and a damaged cache may cost time but
+never correctness (corrupt entries are evicted and recomputed). The
+warm-run test is the acceptance criterion: replaying a full sweep from
+cache completes in a small fraction of the cold wall-clock time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.exec import (
+    ResultCache, SimCell, SweepExecutor, cell_key, run_cell, sweep_cells,
+)
+from repro.gpu.trace import store_op
+from repro.sim.gpusim import run_simulation
+from tests.conftest import program_traces
+
+BASE = SimCell(cfg=GPUConfig.small(), protocol="RCC", workload="dlb",
+               intensity=0.1, seed=42)
+
+
+@pytest.fixture(scope="module")
+def base_result():
+    return run_cell(BASE)
+
+
+class TestRoundTrip:
+    def test_hit_returns_exact_payload(self, tmp_path, base_result):
+        cache = ResultCache(str(tmp_path))
+        key = cell_key(BASE)
+        assert cache.put(key, base_result)
+        got = cache.get(key)
+        assert got is not None
+        assert got.to_payload() == base_result.to_payload()
+        # The figures' vocabulary survives: scalars, derived metrics,
+        # histograms, energy, and tuple-valued data tokens.
+        assert got.as_dict() == base_result.as_dict()
+        assert got.final_memory == base_result.final_memory
+        assert any(isinstance(v, tuple)
+                   for v in got.final_memory.values())
+        for kind in base_result.latency_hist:
+            assert (got.latency_hist[kind].summary()
+                    == base_result.latency_hist[kind].summary())
+        assert got.energy.as_dict() == base_result.energy.as_dict()
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_get_without_put_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get(cell_key(BASE)) is None
+        assert cache.misses == 1
+
+    def test_record_ops_results_never_cached(self, tmp_path):
+        cfg = GPUConfig.small().replace(n_cores=2, warps_per_core=1)
+        res = run_simulation(cfg, "RCC",
+                             program_traces(cfg, {(0, 0): [store_op(0)]}),
+                             record_ops=True)
+        assert res.op_logs
+        cache = ResultCache(str(tmp_path))
+        assert not cache.put("somekey", res)
+        assert cache.get("somekey") is None
+
+
+class TestKeying:
+    def test_every_component_changes_the_key(self):
+        base = cell_key(BASE)
+        import dataclasses
+        variants = [
+            dataclasses.replace(BASE, protocol="TCW"),
+            dataclasses.replace(BASE, workload="bfs"),
+            dataclasses.replace(BASE, intensity=0.2),
+            dataclasses.replace(BASE, seed=43),
+            dataclasses.replace(
+                BASE, ts_overrides=(("renew_enabled", False),)),
+            dataclasses.replace(BASE, cfg=GPUConfig.bench()),
+        ]
+        keys = {base} | {cell_key(v) for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_library_version_changes_the_key(self):
+        assert (cell_key(BASE, version="1.0.0")
+                != cell_key(BASE, version="1.0.1"))
+
+    def test_key_is_stable(self):
+        assert cell_key(BASE) == cell_key(BASE)
+
+
+class TestCorruption:
+    def _cached(self, tmp_path, base_result):
+        cache = ResultCache(str(tmp_path))
+        key = cell_key(BASE)
+        cache.put(key, base_result)
+        return cache, key, cache.path_for(key)
+
+    def test_truncated_entry_evicted_not_crashing(self, tmp_path,
+                                                  base_result):
+        cache, key, path = self._cached(tmp_path, base_result)
+        blob = open(path).read()
+        with open(path, "w") as f:
+            f.write(blob[:len(blob) // 2])
+        assert cache.get(key) is None
+        assert cache.evictions == 1
+        assert not os.path.exists(path)
+
+    def test_garbage_entry_evicted(self, tmp_path, base_result):
+        cache, key, path = self._cached(tmp_path, base_result)
+        with open(path, "w") as f:
+            f.write("not json at all {{{")
+        assert cache.get(key) is None
+        assert cache.evictions == 1
+
+    def test_key_mismatch_evicted(self, tmp_path, base_result):
+        cache, key, path = self._cached(tmp_path, base_result)
+        blob = json.load(open(path))
+        blob["key"] = "0" * 64
+        json.dump(blob, open(path, "w"))
+        assert cache.get(key) is None
+        assert cache.evictions == 1
+
+    def test_bad_payload_evicted(self, tmp_path, base_result):
+        cache, key, path = self._cached(tmp_path, base_result)
+        blob = json.load(open(path))
+        del blob["result"]["cycles"]
+        json.dump(blob, open(path, "w"))
+        assert cache.get(key) is None
+        assert cache.evictions == 1
+
+    def test_corrupted_cell_recomputed_through_executor(self, tmp_path,
+                                                        base_result):
+        cache = ResultCache(str(tmp_path))
+        ex = SweepExecutor(jobs=1, cache=cache)
+        first = ex.run_cells([BASE])[0]
+        path = cache.path_for(cell_key(BASE))
+        with open(path, "w") as f:
+            f.write("{\"truncated\": tru")
+        again = SweepExecutor(jobs=1, cache=ResultCache(str(tmp_path)))
+        second = again.run_cells([BASE])[0]
+        assert second.to_payload() == first.to_payload()
+        assert again.last_stats.n_computed == 1
+        # ... and the recomputed result was re-cached, valid this time.
+        third = SweepExecutor(jobs=1, cache=ResultCache(str(tmp_path)))
+        assert third.run_cells([BASE])[0].to_payload() == first.to_payload()
+        assert third.last_stats.n_cached == 1
+
+    def test_clear_removes_everything(self, tmp_path, base_result):
+        cache, key, path = self._cached(tmp_path, base_result)
+        cache.clear()
+        assert not os.path.exists(path)
+        assert cache.get(key) is None
+
+
+class TestWarmSweep:
+    def test_warm_rerun_under_quarter_of_cold(self, tmp_path):
+        """Acceptance: a cache-warm full protocol sweep finishes in <25%
+        of the cold wall-clock time, with zero cells recomputed."""
+        cells = sweep_cells(
+            GPUConfig.small(),
+            ["MESI", "TCS", "TCW", "RCC", "RCC-WO", "SC-IDEAL"],
+            ["bh", "bfs", "cl", "dlb", "stn", "vpr", "hsp", "kmn", "lps",
+             "ndl", "sr", "lud"],
+            intensity=0.3, seed=7)
+        cold_ex = SweepExecutor(jobs=1, cache=ResultCache(str(tmp_path)))
+        t0 = time.perf_counter()
+        cold = cold_ex.run_cells(cells)
+        cold_wall = time.perf_counter() - t0
+        assert cold_ex.last_stats.n_computed == len(cells)
+        assert cold_wall > 0.5, "sweep too small to time meaningfully"
+
+        warm_ex = SweepExecutor(jobs=1, cache=ResultCache(str(tmp_path)))
+        t0 = time.perf_counter()
+        warm = warm_ex.run_cells(cells)
+        warm_wall = time.perf_counter() - t0
+        assert warm_ex.last_stats.n_computed == 0
+        assert warm_ex.last_stats.n_cached == len(cells)
+        assert ([r.to_payload() for r in warm]
+                == [r.to_payload() for r in cold])
+        assert warm_wall < 0.25 * cold_wall, (
+            f"warm {warm_wall:.2f}s vs cold {cold_wall:.2f}s")

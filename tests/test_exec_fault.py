@@ -1,0 +1,139 @@
+"""Fault paths of the sweep executor: hangs, crashes, fallback, CLI.
+
+A wedged or crashing worker must cost at most one timeout + one retry,
+then surface as a clean :class:`~repro.errors.HarnessError` — never a
+bare ``BrokenProcessPool`` — and a failing experiment must not abort the
+rest of an ``rcc-repro all`` run.
+
+The worker functions live at module level so the fork-based pool can
+pickle them by reference.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.exec import SweepExecutor
+from repro.harness import runner as runner_cli
+
+
+def _hang_worker(item):
+    time.sleep(60)
+
+
+def _boom_worker(item):
+    raise ValueError(f"kaboom {item!r}")
+
+
+def _die_worker(item):
+    os._exit(3)  # kills the pool process outright -> BrokenProcessPool
+
+
+def _flaky_worker(path):
+    if not os.path.exists(path):
+        open(path, "w").close()
+        raise RuntimeError("first attempt fails")
+    return "ok"
+
+
+def _echo_worker(item):
+    return item * 2
+
+
+def _boom_cell_worker(cell):
+    raise ValueError("injected cell failure")
+
+
+class TestTimeoutAndRetry:
+    def test_hung_worker_times_out_retries_once_then_harness_error(self):
+        ex = SweepExecutor(jobs=2, timeout=0.75)
+        t0 = time.perf_counter()
+        with pytest.raises(HarnessError) as err:
+            ex.map(_hang_worker, [1], labels=["wedged-cell"])
+        assert time.perf_counter() - t0 < 20, "hung worker was not reaped"
+        assert ex.last_stats.retries == 1
+        assert "wedged-cell" in str(err.value)
+        assert "TimeoutError" in str(err.value)
+
+    def test_raising_worker_retried_once_then_harness_error(self):
+        ex = SweepExecutor(jobs=2, timeout=30.0)
+        with pytest.raises(HarnessError) as err:
+            ex.map(_boom_worker, ["x"])
+        assert ex.last_stats.retries == 1
+        assert "kaboom" in str(err.value)
+
+    def test_dead_worker_not_a_bare_broken_process_pool(self):
+        ex = SweepExecutor(jobs=2, timeout=30.0)
+        with pytest.raises(HarnessError):
+            ex.map(_die_worker, [1])
+        assert ex.last_stats.retries == 1
+
+    def test_transient_failure_recovers_on_retry(self, tmp_path):
+        sentinel = str(tmp_path / "sentinel")
+        ex = SweepExecutor(jobs=2, timeout=30.0)
+        assert ex.map(_flaky_worker, [sentinel]) == ["ok"]
+        assert ex.last_stats.retries == 1
+
+    def test_serial_failure_also_wrapped(self):
+        ex = SweepExecutor(jobs=1)
+        with pytest.raises(HarnessError) as err:
+            ex.map(_boom_worker, ["y"])
+        assert ex.last_stats.retries == 1
+        assert "kaboom" in str(err.value)
+
+    def test_healthy_cells_survive_a_failing_sibling(self, tmp_path):
+        # map() is all-or-error per batch, but the error must arrive only
+        # after every healthy cell had its chance (results are computed
+        # before the batch raises).
+        ex = SweepExecutor(jobs=2, timeout=30.0)
+        with pytest.raises(HarnessError) as err:
+            ex.map(_boom_worker, ["a", "b"])
+        assert str(err.value).startswith("2 cell(s) failed")
+
+
+class TestFallback:
+    def test_in_process_fallback_when_mp_unavailable(self, monkeypatch):
+        monkeypatch.setenv("RCC_NO_MP", "1")
+        ex = SweepExecutor(jobs=4)
+        assert ex.map(_echo_worker, [1, 2, 3]) == [2, 4, 6]
+        assert ex.last_stats.mode == "serial-fallback"
+
+    def test_serial_is_default(self):
+        ex = SweepExecutor(jobs=1)
+        assert ex.map(_echo_worker, [5]) == [10]
+        assert ex.last_stats.mode == "serial"
+
+
+class TestRunnerCLIFaults:
+    def test_failing_experiment_does_not_abort_the_rest(self, monkeypatch,
+                                                        capsys):
+        from repro.harness.experiments import Harness
+
+        def explode(self):
+            raise RuntimeError("injected fig6 failure")
+
+        monkeypatch.setattr(Harness, "fig6", explode)
+        rc = runner_cli.main(["fig6", "table1", "--quick", "--no-cache"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "Table I" in captured.out, "later experiment did not run"
+        assert "fig6 FAILED" in captured.err
+        assert "1 experiment(s) failed: fig6" in captured.err
+
+    def test_cell_failure_reaches_cli_as_harness_error(self, monkeypatch,
+                                                       capsys):
+        import repro.exec.engine as engine
+        monkeypatch.setattr(engine, "run_cell", _boom_cell_worker)
+        rc = runner_cli.main(["fig6", "--quick", "--no-cache"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "HarnessError" in captured.err
+        assert "BrokenProcessPool" not in captured.err
+
+    def test_all_experiments_ok_exits_zero(self, capsys):
+        rc = runner_cli.main(["table1", "table4", "--quick", "--no-cache"])
+        assert rc == 0
