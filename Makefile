@@ -5,8 +5,8 @@ PY       ?= python
 PYPATH   := PYTHONPATH=src
 JOBS     ?= 4
 
-.PHONY: test test-fast test-exec fuzz fuzz-smoke bench report report-par \
-        clean-cache
+.PHONY: test test-fast test-exec fuzz fuzz-smoke sanitize bench report \
+        report-par clean-cache
 
 test:            ## tier-1: the full test suite
 	$(PYPATH) $(PY) -m pytest -x -q
@@ -20,6 +20,10 @@ test-exec:       ## sweep-executor battery: equivalence, cache, faults
 
 fuzz-smoke:      ## just the bounded differential fuzz campaigns (<30s)
 	$(PYPATH) $(PY) -m pytest -x -q -m fuzz_smoke
+
+sanitize:        ## quick experiment grid + bounded fuzz, invariant-checked
+	$(PYPATH) $(PY) -m repro.harness.runner all --quick --sanitize
+	$(PYPATH) $(PY) -m repro.fuzz.cli --seed 0 --programs 200 --sanitize
 
 fuzz:            ## a long differential campaign across all protocols
 	$(PYPATH) $(PY) -m repro.fuzz.cli --seed 0 --programs 2000 \

@@ -86,6 +86,9 @@ class L1ControllerBase:
         self.mshr = MSHRFile(cfg.l1.mshr_entries)
         self.stats = L1Stats()
         self.core = None  # GPUCore, attached by the simulator
+        #: Runtime invariant checker; None (the default) costs one attribute
+        #: test per emission site and nothing else.
+        self.sanitizer = None
         noc.register(self.endpoint, self.on_message)
 
     # ------------------------------------------------------------------
@@ -148,6 +151,13 @@ class L1ControllerBase:
         elif record.kind is MemOpKind.ATOMIC:
             self.stats.atomics += 1
 
+    def _emit(self, kind: str, addr: int, **fields: Any) -> None:
+        """Forward one protocol step to the attached sanitizer. Call sites
+        guard with ``if self.sanitizer is not None`` so the disabled path
+        never builds the kwargs dict."""
+        self.sanitizer.emit(kind, "L1", self.core_id, self.engine.now,
+                            addr, **fields)
+
     def unhandled(self, state: Any, event: Any, detail: str = "") -> ProtocolError:
         return ProtocolError(f"L1[{self.core_id}]", str(state), str(event), detail)
 
@@ -174,6 +184,8 @@ class L2ControllerBase:
         #: Monotonic per-bank arrival counter: the physical serialization
         #: order of writes at this bank (SC tie-break for equal versions).
         self._arrivals = 0
+        #: Runtime invariant checker (see L1ControllerBase.sanitizer).
+        self.sanitizer = None
         noc.register(self.endpoint, self.on_message)
 
     # ------------------------------------------------------------------
@@ -213,6 +225,12 @@ class L2ControllerBase:
         self.backing[addr] = value
         self.stats.writebacks += 1
         self.dram.access(addr, is_write=True, token=addr, done=lambda a: None)
+
+    def _emit(self, kind: str, addr: int, **fields: Any) -> None:
+        """Forward one protocol step to the attached sanitizer (see
+        L1ControllerBase._emit)."""
+        self.sanitizer.emit(kind, "L2", self.bank_id, self.engine.now,
+                            addr, **fields)
 
     def unhandled(self, state: Any, event: Any, detail: str = "") -> ProtocolError:
         return ProtocolError(f"L2[{self.bank_id}]", str(state), str(event), detail)

@@ -19,6 +19,7 @@ from repro.coherence.mesi import MESIL1Controller, MESIL2Controller
 from repro.common.messages import Message
 from repro.common.types import L1State
 from repro.mem.cache_array import CacheLine
+from repro.sanitize.events import EventKind as EV
 
 
 class IdealL1Controller(MESIL1Controller):
@@ -31,7 +32,10 @@ class IdealL1Controller(MESIL1Controller):
         self.stats.invalidations_received += 1
         line = self.cache.lookup(block)
         entry = self.mshr.get(block)
-        if line is not None and line.state is L1State.V:
+        dropped = line is not None and line.state is L1State.V
+        if self.sanitizer is not None:
+            self._emit(EV.L1_INV, block, dropped=dropped, magic=True)
+        if dropped:
             self.cache.remove(block)
         if entry is not None and entry.meta.get("gets_out"):
             entry.meta["inv_after_fill"] = True
@@ -78,6 +82,8 @@ class IdealL2Controller(MESIL2Controller):
 
     def _on_evict(self, line: CacheLine) -> None:
         self.stats.evictions += 1
+        if self.sanitizer is not None:
+            self._emit(EV.L2_EVICT, line.addr, sharers=len(line.sharers))
         for sharer in sorted(line.sharers):
             self._l1_by_endpoint(sharer).magic_invalidate(line.addr)
         line.sharers.clear()

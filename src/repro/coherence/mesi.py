@@ -28,6 +28,7 @@ from repro.common.types import AccessOutcome, L1State, L2State, MemOpKind, MsgKi
 from repro.coherence.base import L1ControllerBase, L2ControllerBase
 from repro.gpu.warp import MemOpRecord, Warp
 from repro.mem.cache_array import CacheLine
+from repro.sanitize.events import EventKind as EV
 
 RETRY_DELAY = 8
 
@@ -47,11 +48,13 @@ class MESIL1Controller(L1ControllerBase):
         return self._store_or_atomic(record, warp)
 
     def _load(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
-        self.stats.loads += 1
         block = self.block_of(record.addr)
         line = self.cache.lookup(block)
         if line is not None and line.state is L1State.V:
+            self.stats.loads += 1
             self.stats.load_hits += 1
+            if self.sanitizer is not None:
+                self._emit(EV.L1_LOAD_HIT, block)
             record.read_value = line.value
             record.logical_ts = self.engine.now
             record.order_key = -1
@@ -63,7 +66,11 @@ class MESIL1Controller(L1ControllerBase):
             return AccessOutcome.STALL
         if line is None and not self.cache.can_allocate(block):
             return AccessOutcome.STALL
+        # Count only after the stall exits, so replayed accesses count once.
+        self.stats.loads += 1
         self.stats.load_misses += 1
+        if self.sanitizer is not None:
+            self._emit(EV.L1_LOAD_MISS, block)
         entry = self.mshr.allocate(block)
         entry.waiting_loads.append((record, warp))
         if entry.meta.get("gets_out"):
@@ -85,12 +92,17 @@ class MESIL1Controller(L1ControllerBase):
         if entry is None and not self.mshr.has_free():
             return AccessOutcome.STALL
         self.count_access(record)
+        if self.sanitizer is not None:
+            self._emit(EV.L1_STORE_ISSUE, block,
+                       atomic=record.kind is MemOpKind.ATOMIC)
         entry = self.mshr.allocate(block)
         entry.pending_stores.append((record, warp))
         line = self.cache.lookup(block)
         if line is not None and line.state is L1State.V:
             self.cache.remove(block)  # write-through, write-no-allocate
             self.stats.self_invalidations += 1
+            if self.sanitizer is not None:
+                self._emit(EV.L1_SELF_INVAL, block, reason="write_through")
         elif line is not None:
             line.pinned = True
         kind = (MsgKind.ATOMIC if record.kind is MemOpKind.ATOMIC
@@ -103,6 +115,8 @@ class MESIL1Controller(L1ControllerBase):
         self.stats.evictions += 1
         # Silent eviction; the directory over-approximates sharers (its INV
         # to a non-sharer is acked harmlessly), as in coarse GPU directories.
+        if self.sanitizer is not None:
+            self._emit(EV.L1_EVICT, line.addr, state=line.state.name)
 
     # ------------------------------------------------------------------
     def on_message(self, msg: Message) -> None:
@@ -136,6 +150,9 @@ class MESIL1Controller(L1ControllerBase):
             else:
                 line.state = L1State.V
                 line.value = msg.value
+        if self.sanitizer is not None:
+            self._emit(EV.L1_FILL, block,
+                       installed=line is not None and not inv_after)
         if entry is not None:
             waiting = entry.waiting_loads
             if inv_after and safe_count is not None:
@@ -173,6 +190,9 @@ class MESIL1Controller(L1ControllerBase):
         record.order_key = msg.meta.get("arrival", -1)
         if read_value is not None:
             record.read_value = read_value
+        if self.sanitizer is not None:
+            self._emit(EV.L1_STORE_ACK, block,
+                       completed_at=record.logical_ts)
         self.complete(record, warp)
         self._maybe_release(block)
 
@@ -181,7 +201,11 @@ class MESIL1Controller(L1ControllerBase):
         self.stats.invalidations_received += 1
         line = self.cache.lookup(block)
         entry = self.mshr.get(block)
-        if line is not None and line.state is L1State.V:
+        dropped = line is not None and line.state is L1State.V
+        if self.sanitizer is not None:
+            self._emit(EV.L1_INV, block, dropped=dropped,
+                       recall=bool(msg.meta.get("recall")))
+        if dropped:
             self.cache.remove(block)
         if entry is not None and entry.meta.get("gets_out"):
             # Fetch in flight: the fill must not install a stale copy, and
@@ -191,7 +215,8 @@ class MESIL1Controller(L1ControllerBase):
             entry.meta["inv_after_fill"] = True
             entry.meta.setdefault("safe_count", len(entry.waiting_loads))
         self.send_to_l2(MsgKind.INV_ACK, block,
-                        meta={"requester": msg.meta.get("requester")})
+                        meta={"requester": msg.meta.get("requester"),
+                              "recall": bool(msg.meta.get("recall"))})
 
     def _maybe_release(self, block: int) -> None:
         entry = self.mshr.get(block)
@@ -212,6 +237,12 @@ class MESIL2Controller(L2ControllerBase):
     def __init__(self, bank_id, engine, cfg, noc, amap, dram, backing):
         super().__init__(bank_id, engine, cfg, noc, amap, dram, backing,
                          L2State.I)
+        #: Outstanding recall-INV acks per evicted block. While any are
+        #: pending the block must not be re-allocated: a refetched line
+        #: starts with an empty sharer set, so a store could apply while
+        #: an old sharer's recall is still in flight — breaking write
+        #: atomicity (the sanitizer's mesi.write.single_writer catch).
+        self._recalls: dict = {}
 
     # ------------------------------------------------------------------
     def on_message(self, msg: Message) -> None:
@@ -245,6 +276,9 @@ class MESIL2Controller(L2ControllerBase):
             self.stats.hits += 1
             line.sharers.add(msg.src)
             line.touch()
+            if self.sanitizer is not None:
+                self._emit(EV.L2_READ_GRANT, block, peer=msg.src[1],
+                           sharers=len(line.sharers))
             self.send(msg.src, MsgKind.DATA, block, value=line.value,
                       meta={"arrival": self.next_arrival(),
                             "granted_at": self.engine.now},
@@ -298,12 +332,19 @@ class MESIL2Controller(L2ControllerBase):
         self._miss_fetch(msg, block, is_read=False, atomic=atomic)
 
     def _on_inv_ack(self, msg: Message) -> None:
+        if msg.meta.get("recall"):
+            remaining = self._recalls.get(msg.addr, 0) - 1
+            if remaining > 0:
+                self._recalls[msg.addr] = remaining
+            else:
+                self._recalls.pop(msg.addr, None)
+            return
         line = self.cache.lookup(msg.addr)
         if line is None:
-            return  # recall ack for an already-evicted block
+            return  # stale ack for an already-evicted block
         pending = line.meta.get("inv_pending")
         if pending is None:
-            return  # recall ack; nothing is waiting
+            return  # nothing is waiting
         pending["remaining"] -= 1
         if pending["remaining"] == 0:
             del line.meta["inv_pending"]
@@ -319,8 +360,12 @@ class MESIL2Controller(L2ControllerBase):
         # Serialization point: the write is applied (and the directory
         # unblocked) now; the ack merely travels back afterwards.
         completed_at = self.engine.now
+        arrival = self.next_arrival()
+        if self.sanitizer is not None:
+            self._emit(EV.L2_ATOMIC_APPLY if atomic else EV.L2_WRITE_APPLY,
+                       msg.addr, completed_at=completed_at, arrival=arrival)
         meta = {"record": msg.meta.get("record"), "warp": msg.meta.get("warp"),
-                "arrival": self.next_arrival(), "completed_at": completed_at}
+                "arrival": arrival, "completed_at": completed_at}
         if atomic:
             meta["atomic"] = True
             self.send(msg.src, MsgKind.DATA, msg.addr, value=old_value,
@@ -331,6 +376,12 @@ class MESIL2Controller(L2ControllerBase):
     # ------------------------------------------------------------------
     def _miss_fetch(self, msg: Message, block: int, is_read: bool,
                     atomic: bool = False) -> None:
+        if self._recalls.get(block):
+            # The block was evicted with sharers and their recall acks are
+            # still outstanding; refetching now would resurrect the line
+            # with an empty sharer set while stale copies live on.
+            self._retry(msg)
+            return
         if not (self.mshr.has_free() or block in self.mshr) \
                 or not self.cache.can_allocate(block):
             self._retry(msg)
@@ -364,9 +415,16 @@ class MESIL2Controller(L2ControllerBase):
 
     def _on_evict(self, line: CacheLine) -> None:
         self.stats.evictions += 1
+        if self.sanitizer is not None:
+            self._emit(EV.L2_EVICT, line.addr, sharers=len(line.sharers))
         # Inclusive directory: recall every sharer's copy (sorted: the
-        # recall order must not depend on set iteration order).
-        for sharer in sorted(line.sharers):
+        # recall order must not depend on set iteration order) and block
+        # re-allocation of the address until every ack returns.
+        sharers = sorted(line.sharers)
+        if sharers:
+            self._recalls[line.addr] = (self._recalls.get(line.addr, 0)
+                                        + len(sharers))
+        for sharer in sharers:
             self.stats.invalidations_sent += 1
             self.send(sharer, MsgKind.INV, line.addr, meta={"recall": True})
         line.sharers.clear()

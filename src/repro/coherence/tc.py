@@ -31,8 +31,10 @@ from typing import Dict, Optional
 from repro.common.messages import Message
 from repro.common.types import AccessOutcome, L1State, L2State, MemOpKind, MsgKind
 from repro.coherence.base import L1ControllerBase, L2ControllerBase
+from repro.core.lease import lease_expired, lease_valid, post_lease
 from repro.gpu.warp import MemOpRecord, Warp
 from repro.mem.cache_array import CacheLine
+from repro.sanitize.events import EventKind as EV
 
 RETRY_DELAY = 8
 
@@ -54,13 +56,16 @@ class TCL1Controller(L1ControllerBase):
         return self._store_or_atomic(record, warp)
 
     def _load(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
-        self.stats.loads += 1
         block = self.block_of(record.addr)
         line = self.cache.lookup(block)
         now = self.engine.now
 
-        if line is not None and line.state is L1State.V and now <= line.exp:
+        if (line is not None and line.state is L1State.V
+                and lease_valid(now, line.exp)):
+            self.stats.loads += 1
             self.stats.load_hits += 1
+            if self.sanitizer is not None:
+                self._emit(EV.L1_LOAD_HIT, block, now=now, exp=line.exp)
             record.read_value = line.value
             record.logical_ts = now
             record.order_key = -1
@@ -68,17 +73,21 @@ class TCL1Controller(L1ControllerBase):
             self.complete(record, warp, delay=self.cfg.l1.hit_latency)
             return AccessOutcome.HIT
 
-        if line is not None and line.state is L1State.V and now > line.exp:
-            self.stats.load_expired += 1
+        expired = (line is not None and line.state is L1State.V
+                   and lease_expired(now, line.exp))
 
         entry = self.mshr.get(block)
         if entry is None and not self.mshr.has_free():
             return AccessOutcome.STALL
         if line is None and not self.cache.can_allocate(block):
             return AccessOutcome.STALL
+        # Count only after the stall exits, so replayed accesses count once.
+        self.stats.loads += 1
+        if expired:
+            self.stats.load_expired += 1
         self.stats.load_misses += 1
-        was_expired = (line is not None and line.state is L1State.V
-                       and now > line.exp)
+        if self.sanitizer is not None:
+            self._emit(EV.L1_LOAD_MISS, block, now=now, expired=expired)
         entry = self.mshr.allocate(block)
         entry.waiting_loads.append((record, warp))
         if entry.meta.get("gets_out"):
@@ -90,7 +99,7 @@ class TCL1Controller(L1ControllerBase):
         line.pinned = True
         entry.meta["gets_out"] = True
         self.send_to_l2(MsgKind.GETS, block, now=now,
-                        meta={"expired": was_expired})
+                        meta={"expired": expired})
         return AccessOutcome.MISS
 
     def _store_or_atomic(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
@@ -102,6 +111,9 @@ class TCL1Controller(L1ControllerBase):
         if entry is None and not self.mshr.has_free():
             return AccessOutcome.STALL
         self.count_access(record)
+        if self.sanitizer is not None:
+            self._emit(EV.L1_STORE_ISSUE, block, now=self.engine.now,
+                       atomic=record.kind is MemOpKind.ATOMIC)
         entry = self.mshr.allocate(block)
         entry.pending_stores.append((record, warp))
         # Write-through, write-no-allocate: drop our own stale copy.
@@ -109,6 +121,8 @@ class TCL1Controller(L1ControllerBase):
         if line is not None and line.state is L1State.V:
             self.cache.remove(block)
             self.stats.self_invalidations += 1
+            if self.sanitizer is not None:
+                self._emit(EV.L1_SELF_INVAL, block, reason="write_through")
         elif line is not None:
             line.pinned = True
         kind = (MsgKind.ATOMIC if record.kind is MemOpKind.ATOMIC
@@ -119,6 +133,9 @@ class TCL1Controller(L1ControllerBase):
 
     def _on_evict(self, line: CacheLine) -> None:
         self.stats.evictions += 1
+        if self.sanitizer is not None:
+            self._emit(EV.L1_EVICT, line.addr, state=line.state.name,
+                       exp=line.exp)
 
     # ------------------------------------------------------------------
     def on_message(self, msg: Message) -> None:
@@ -140,11 +157,14 @@ class TCL1Controller(L1ControllerBase):
             line.state = L1State.V
             line.exp = msg.exp
             line.value = msg.value
+        if self.sanitizer is not None:
+            self._emit(EV.L1_FILL, block, exp=msg.exp,
+                       installed=line is not None)
         if entry is not None:
             granted_at = msg.meta.get("granted_at", self.engine.now)
             keep = []
             for record, warp in entry.waiting_loads:
-                if record.issue_cycle <= msg.exp:
+                if lease_valid(record.issue_cycle, msg.exp):
                     record.read_value = msg.value
                     # Witness position: anywhere inside the lease window is
                     # sound; pick the latest of the grant and the issue (a
@@ -183,6 +203,13 @@ class TCL1Controller(L1ControllerBase):
             gwct = msg.meta.get("gwct", self.engine.now)
             key = warp.warp_id
             self._gwct[key] = max(self._gwct.get(key, 0), gwct)
+            if self.sanitizer is not None:
+                self._emit(EV.L1_STORE_ACK, block,
+                           completed_at=record.logical_ts,
+                           gwct=self._gwct[key], warp=key)
+        elif self.sanitizer is not None:
+            self._emit(EV.L1_STORE_ACK, block,
+                       completed_at=record.logical_ts)
         self.complete(record, warp)
         self._maybe_release(block)
 
@@ -273,16 +300,23 @@ class TCL2Controller(L2ControllerBase):
             lease = self._lease_for(line)
             self._predict_on_grant(line, msg.meta.get("expired", False))
             new_exp = max(line.exp, now + lease)
-            busy = line.meta.get("store_busy_until", 0)
-            if self.strong and busy > now:
-                # A store is already waiting for the current leases to
-                # expire: keep serving reads (with the *old* value — the
+            pending = line.meta.get("pending_acks")
+            if self.strong and pending:
+                # Stores are already waiting for the current leases to
+                # expire: keep serving reads (with the *old* value — a
                 # pending write applies at its ack time), but cap the new
-                # lease so it cannot extend past the pending write's
-                # serialization point (avoids store starvation).
-                new_exp = min(new_exp, busy - 1)
+                # lease below the EARLIEST pending store's serialization
+                # point. Capping at the latest (the old store_busy_until)
+                # let a lease granted between two buffered stores cover
+                # cycles past the first store's apply time, so an L1 hit
+                # could return the pre-store value after that store had
+                # serialized — a write-atomicity hole.
+                new_exp = min(new_exp, min(pending) - 1)
             line.exp = max(line.exp, new_exp)
             line.touch()
+            if self.sanitizer is not None:
+                self._emit(EV.L2_READ_GRANT, block, exp=line.exp, now=now,
+                           peer=msg.src[1])
             self.send(msg.src, MsgKind.DATA, block, exp=line.exp,
                       value=line.value,
                       meta={"arrival": self.next_arrival(),
@@ -316,12 +350,14 @@ class TCL2Controller(L2ControllerBase):
                 # outstanding lease has expired. Buffer it; reads keep
                 # being served the old value until then.
                 busy = line.meta.get("store_busy_until", 0)
-                ack_at = max(now + hit_lat, line.exp + 1, busy + 1)
+                ack_at = max(now + hit_lat, post_lease(line.exp), busy + 1)
                 line.meta["store_busy_until"] = ack_at
-                line.meta["pending_applies"] = \
-                    line.meta.get("pending_applies", 0) + 1
+                line.meta.setdefault("pending_acks", []).append(ack_at)
                 line.pinned = True  # not evictable with a buffered store
                 self.stats.store_lease_wait_cycles += ack_at - (now + hit_lat)
+                if self.sanitizer is not None:
+                    self._emit(EV.L2_WRITE_BUFFER, block, ack_at=ack_at,
+                               exp=line.exp, now=now, atomic=atomic)
                 self.engine.schedule(
                     ack_at, lambda: self._apply_strong(msg, block, atomic,
                                                        ack_at))
@@ -332,11 +368,17 @@ class TCL2Controller(L2ControllerBase):
             line.value = msg.value
             line.dirty = True
             line.touch()
+            arrival = self.next_arrival()
+            gwct = max(now, line.exp)
+            if self.sanitizer is not None:
+                self._emit(EV.L2_ATOMIC_APPLY if atomic else
+                           EV.L2_WRITE_APPLY, block, completed_at=now,
+                           exp=line.exp, gwct=gwct, arrival=arrival)
             meta = {"record": msg.meta.get("record"),
                     "warp": msg.meta.get("warp"),
-                    "arrival": self.next_arrival(),
+                    "arrival": arrival,
                     "completed_at": now,
-                    "gwct": max(now, line.exp)}
+                    "gwct": gwct}
             if atomic:
                 meta["atomic"] = True
                 self.send(msg.src, MsgKind.DATA, block, value=old_value,
@@ -361,13 +403,19 @@ class TCL2Controller(L2ControllerBase):
         line.value = msg.value
         line.dirty = True
         line.touch()
-        remaining = line.meta.get("pending_applies", 1) - 1
-        line.meta["pending_applies"] = remaining
-        if remaining == 0 and line.state is L2State.V:
+        pending = line.meta.get("pending_acks", [])
+        if ack_at in pending:
+            pending.remove(ack_at)
+        if not pending and line.state is L2State.V:
             line.pinned = False
+        arrival = self.next_arrival()
+        if self.sanitizer is not None:
+            self._emit(EV.L2_ATOMIC_APPLY if atomic else EV.L2_WRITE_APPLY,
+                       block, completed_at=ack_at, exp=line.exp,
+                       arrival=arrival)
         meta = {"record": msg.meta.get("record"),
                 "warp": msg.meta.get("warp"),
-                "arrival": self.next_arrival(),
+                "arrival": arrival,
                 "completed_at": ack_at}
         if atomic:
             meta["atomic"] = True
@@ -403,7 +451,7 @@ class TCL2Controller(L2ControllerBase):
                 return True
             if line.state is not L2State.V:
                 continue
-            if line.meta.get("pending_applies", 0) > 0:
+            if line.meta.get("pending_acks"):
                 line.pinned = True
             elif line.exp > now and not slot_free:
                 line.pinned = True  # nowhere to park the live lease
@@ -426,6 +474,8 @@ class TCL2Controller(L2ControllerBase):
         # A parked lease survives the round trip through DRAM: a write to
         # the refetched block must still wait for it (TCS correctness).
         line.exp = self.parked.pop(block, 0)
+        if self.sanitizer is not None:
+            self._emit(EV.L2_FILL, block, exp=line.exp)
         # Replay merged requests in arrival order: reads then writes (the
         # interleaving error is bounded by the fill latency).
         reads, entry.waiting_loads = entry.waiting_loads, []
@@ -440,11 +490,14 @@ class TCL2Controller(L2ControllerBase):
     def _on_evict(self, line: CacheLine) -> None:
         self.stats.evictions += 1
         now = self.engine.now
+        if self.sanitizer is not None:
+            self._emit(EV.L2_EVICT, line.addr, exp=line.exp,
+                       parked=line.exp > now)
         if line.exp > now:
             # Park the live lease so a later write still waits it out.
             exp = line.exp
             self.parked[line.addr] = max(self.parked.get(line.addr, 0), exp)
-            self.engine.schedule(exp + 1,
+            self.engine.schedule(post_lease(exp),
                                  lambda: self._unpark(line.addr, exp))
         if line.dirty:
             self.writeback_to_dram(line.addr, line.value)

@@ -20,6 +20,23 @@ from repro.mem.cache_array import CacheLine
 _PRED_KEY = "lease_pred"
 
 
+def lease_valid(now: int, exp: int) -> bool:
+    """The single lease-boundary convention, shared by RCC and TC: a copy
+    is readable **through** its expiry cycle (``now == exp`` still hits)."""
+    return now <= exp
+
+
+def lease_expired(now: int, exp: int) -> bool:
+    """Complement of :func:`lease_valid`: expired strictly past ``exp``."""
+    return now > exp
+
+
+def post_lease(exp: int) -> int:
+    """The first instant strictly after a lease — where writes serialize
+    (RCC rule 3's ``D.exp + 1``; a TCS store's earliest ack time)."""
+    return exp + 1
+
+
 class LeasePredictor:
     """Computes the lease duration the L2 grants with each read."""
 

@@ -29,9 +29,11 @@ from typing import Optional
 from repro.common.messages import Message
 from repro.common.types import AccessOutcome, L1State, MemOpKind, MsgKind
 from repro.coherence.base import L1ControllerBase
+from repro.core.lease import lease_expired, lease_valid
 from repro.core.timestamps import LogicalClock
 from repro.gpu.warp import MemOpRecord, Warp
 from repro.mem.cache_array import CacheLine
+from repro.sanitize.events import EventKind as EV
 
 
 class RCCL1Controller(L1ControllerBase):
@@ -91,14 +93,18 @@ class RCCL1Controller(L1ControllerBase):
         return self._store_or_atomic(record, warp)
 
     def _load(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
-        self.stats.loads += 1
         block = self.block_of(record.addr)
         line = self.cache.lookup(block)
         rnow = self._read_now()
 
-        if line is not None and line.state is L1State.V and rnow <= line.exp:
+        if (line is not None and line.state is L1State.V
+                and lease_valid(rnow, line.exp)):
             # V (or VI) hit within the lease.
+            self.stats.loads += 1
             self.stats.load_hits += 1
+            if self.sanitizer is not None:
+                self._emit(EV.L1_LOAD_HIT, block, now=rnow, exp=line.exp,
+                           view="read", epoch=self.rollover.epoch)
             record.read_value = line.value
             record.logical_ts = self._ts_key(rnow)
             record.order_key = -1  # L1 hit: never visited the L2
@@ -107,16 +113,22 @@ class RCCL1Controller(L1ControllerBase):
             return AccessOutcome.HIT
 
         expired = (line is not None and line.state is L1State.V
-                   and rnow > line.exp)
-        if expired:
-            self.stats.load_expired += 1
+                   and lease_expired(rnow, line.exp))
 
         entry = self.mshr.get(block)
         if entry is None and not self.mshr.has_free():
             return AccessOutcome.STALL
         if line is None and not self.cache.can_allocate(block):
             return AccessOutcome.STALL  # all ways pinned by transients
+        # Count only after the stall exits: a stalled access is replayed, and
+        # counting it on every retry inflated loads/load_expired.
+        self.stats.loads += 1
+        if expired:
+            self.stats.load_expired += 1
         self.stats.load_misses += 1
+        if self.sanitizer is not None:
+            self._emit(EV.L1_LOAD_MISS, block, now=rnow, expired=expired,
+                       view="read", epoch=self.rollover.epoch)
         entry = self.mshr.allocate(block)
         # Snapshot the read view at issue: the fill satisfies this load only
         # if the granted lease covers the snapshot (a warp that is already
@@ -141,11 +153,18 @@ class RCCL1Controller(L1ControllerBase):
         return AccessOutcome.MISS
 
     def _store_or_atomic(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
-        self.count_access(record)
         block = self.block_of(record.addr)
         entry = self.mshr.get(block)
         if entry is None and not self.mshr.has_free():
             return AccessOutcome.STALL
+        self.count_access(record)  # after the stall exit, so replays count once
+        if self.sanitizer is not None:
+            vline = self.cache.lookup(block)
+            self._emit(EV.L1_STORE_ISSUE, block, now=self._write_now(),
+                       view="write", epoch=self.rollover.epoch,
+                       atomic=record.kind is MemOpKind.ATOMIC,
+                       copy_exp=(vline.exp if vline is not None
+                                 and vline.state is L1State.V else None))
         entry = self.mshr.allocate(block)
         entry.pending_stores.append((record, warp))
         line = self.cache.lookup(block)
@@ -163,6 +182,9 @@ class RCCL1Controller(L1ControllerBase):
     def _on_evict(self, line: CacheLine) -> None:
         # Write-through L1: evicting a V line (valid or expired) is silent.
         self.stats.evictions += 1
+        if self.sanitizer is not None:
+            self._emit(EV.L1_EVICT, line.addr, state=line.state.name,
+                       exp=line.exp)
 
     # ------------------------------------------------------------------
     # L2 responses
@@ -199,6 +221,11 @@ class RCCL1Controller(L1ControllerBase):
             line.state = L1State.V
             line.exp = exp
             line.value = msg.value
+        if self.sanitizer is not None:
+            self._emit(EV.L1_FILL, block, ver=ver, exp=exp,
+                       now_after=self._read_now(), view="read",
+                       epoch=self.rollover.epoch,
+                       installed=line is not None)
         if entry is not None:
             self._deliver_loads(block, entry, msg.value, ver, exp,
                                 msg.meta.get("arrival", -1))
@@ -241,6 +268,9 @@ class RCCL1Controller(L1ControllerBase):
         block = msg.addr
         self.stats.renews_received += 1
         exp = self.rollover.clamp(msg.exp, epoch)
+        if self.sanitizer is not None:
+            self._emit(EV.L1_RENEW, block, exp=exp,
+                       epoch=self.rollover.epoch)
         line = self.cache.lookup(block)
         if line is None or line.value is None:
             # A RENEW raced a rollover flush and the stale copy is gone:
@@ -278,14 +308,25 @@ class RCCL1Controller(L1ControllerBase):
         if record.kind is MemOpKind.ATOMIC:
             record.read_value = msg.value  # the value the RMW observed
         self.complete(record, warp)
+        line = self.cache.lookup(block)
+        if self.sanitizer is not None:
+            copy_exp = (line.exp if line is not None
+                        and line.state is L1State.V else None)
+            self._emit(EV.L1_STORE_ACK, block, ver=ver,
+                       now_after=self._write_now(), copy_exp=copy_exp,
+                       view="write",
+                       epoch=msg.meta.get("epoch", self.rollover.epoch),
+                       cur_epoch=self.rollover.epoch)
         if not entry.pending_stores:
             # Final ack: the cached copy (if any) is now logically expired
             # (the write's ver exceeded the block's last lease), so VI -> I.
-            line = self.cache.lookup(block)
             if (line is not None and line.state is L1State.V
                     and not entry.waiting_loads):
                 self.cache.remove(block)
                 self.stats.self_invalidations += 1
+                if self.sanitizer is not None:
+                    self._emit(EV.L1_SELF_INVAL, block,
+                               reason="post_store_vi")
         self._maybe_release(block)
 
     def _maybe_release(self, block: int) -> None:
@@ -307,6 +348,9 @@ class RCCL1Controller(L1ControllerBase):
         """Zero the logical clock and invalidate every entry; blocks with
         outstanding MSHR traffic keep their entries (conceptual II)."""
         self.stats.flushes += 1
+        if self.sanitizer is not None:
+            self._emit(EV.L1_ROLLOVER, 0, epoch=self.rollover.epoch,
+                       now=self.now)
         self.clock.reset()
         for line in list(self.cache.lines()):
             if line.addr in self.mshr:

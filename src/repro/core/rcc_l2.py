@@ -34,8 +34,9 @@ from typing import Any, Dict, List, Optional
 from repro.common.messages import Message
 from repro.common.types import L2State, MsgKind
 from repro.coherence.base import L2ControllerBase
-from repro.core.lease import LeasePredictor
+from repro.core.lease import LeasePredictor, post_lease
 from repro.mem.cache_array import CacheLine
+from repro.sanitize.events import EventKind as EV
 
 #: Delay before re-presenting a request that hit a stalling state (IAV, or a
 #: set with every way pinned). Models the request sitting in the bank's
@@ -138,7 +139,13 @@ class RCCL2Controller(L2ControllerBase):
         line.exp = max(line.exp, line.ver + lease, m_now + lease)
         line.touch()
         arrival = self.next_arrival()
-        if (self.renew_enabled and m_exp is not None and m_exp > line.ver):
+        renewing = (self.renew_enabled and m_exp is not None
+                    and m_exp > line.ver)
+        if self.sanitizer is not None:
+            self._emit(EV.L2_RENEW_GRANT if renewing else EV.L2_READ_GRANT,
+                       msg.addr, ver=line.ver, exp=line.exp, m_now=m_now,
+                       peer=msg.src[1], epoch=self.rollover.epoch)
+        if renewing:
             # The requester's copy is still current: extend, don't resend.
             self.stats.renew_grants += 1
             self.predictor.on_renew(line)
@@ -166,11 +173,17 @@ class RCCL2Controller(L2ControllerBase):
             arrival = self.next_arrival()
             # Rules 2+3: past the writer's now, the last write, and every
             # outstanding lease — computed locally, acknowledged instantly.
-            line.ver = max(m_now, line.ver, line.exp + 1)
+            prev_ver, prev_exp = line.ver, line.exp
+            line.ver = max(m_now, line.ver, post_lease(line.exp))
             line.value = msg.value
             line.dirty = True
             line.touch()
             self.predictor.on_write(line)
+            if self.sanitizer is not None:
+                self._emit(EV.L2_WRITE_APPLY, block, ver=line.ver,
+                           prev_ver=prev_ver, prev_exp=prev_exp,
+                           m_now=m_now, arrival=arrival,
+                           epoch=self.rollover.epoch)
             self._send_ack(msg, line.ver, arrival)
             return
         if line is not None and line.state is L2State.IAV:
@@ -204,7 +217,12 @@ class RCCL2Controller(L2ControllerBase):
         entry.store_value = msg.value
         entry.has_write = True
         arrival = self.next_arrival()
-        self._send_ack(msg, max(entry.lastwr, self.dram.mnow), arrival)
+        ver = max(entry.lastwr, self.dram.mnow)
+        if self.sanitizer is not None:
+            self._emit(EV.L2_WRITE_MERGE, msg.addr, ver=ver,
+                       lastwr=entry.lastwr, mnow=self.dram.mnow,
+                       arrival=arrival, epoch=self.rollover.epoch)
+        self._send_ack(msg, ver, arrival)
 
     def _send_ack(self, msg: Message, ver: int, arrival: int) -> None:
         self.send(msg.src, MsgKind.ACK, msg.addr, ver=ver,
@@ -226,12 +244,18 @@ class RCCL2Controller(L2ControllerBase):
         if line is not None and line.state is L2State.V:
             self.stats.hits += 1
             arrival = self.next_arrival()
-            line.ver = max(m_now, line.ver, line.exp + 1)
+            prev_ver, prev_exp = line.ver, line.exp
+            line.ver = max(m_now, line.ver, post_lease(line.exp))
             old_value = line.value
             line.value = msg.value
             line.dirty = True
             line.touch()
             self.predictor.on_write(line)
+            if self.sanitizer is not None:
+                self._emit(EV.L2_ATOMIC_APPLY, block, ver=line.ver,
+                           prev_ver=prev_ver, prev_exp=prev_exp,
+                           m_now=m_now, arrival=arrival,
+                           epoch=self.rollover.epoch)
             self.send(msg.src, MsgKind.DATA, block, exp=line.exp,
                       ver=line.ver, value=old_value,
                       meta={"atomic": True, "record": msg.meta.get("record"),
@@ -279,6 +303,13 @@ class RCCL2Controller(L2ControllerBase):
             line.dirty = True
             self.predictor.on_write(line)
             arrival = self.next_arrival()
+            if self.sanitizer is not None:
+                self._emit(EV.L2_FILL, block, ver=line.ver, exp=line.exp,
+                           mnow=mnow, has_read=False, has_write=True,
+                           lastwr=entry.lastwr, epoch=self.rollover.epoch)
+                self._emit(EV.L2_ATOMIC_APPLY, block, ver=line.ver,
+                           m_now=entry.lastwr, arrival=arrival,
+                           epoch=self.rollover.epoch)
             self.send(atomic_msg.src, MsgKind.DATA, block, exp=line.ver,
                       ver=line.ver, value=old_value,
                       meta={"atomic": True,
@@ -304,6 +335,11 @@ class RCCL2Controller(L2ControllerBase):
         if entry.has_read:
             lease = self.predictor.lease_for(line)
             line.exp = max(line.ver + lease, entry.lastrd + lease)
+        if self.sanitizer is not None:
+            self._emit(EV.L2_FILL, block, ver=line.ver, exp=line.exp,
+                       mnow=mnow, has_read=entry.has_read,
+                       has_write=entry.has_write, lastrd=entry.lastrd,
+                       lastwr=entry.lastwr, epoch=self.rollover.epoch)
         for req in entry.waiting_loads:
             arrival = self.next_arrival()
             self.send(req.src, MsgKind.DATA, block, exp=line.exp,
@@ -320,8 +356,11 @@ class RCCL2Controller(L2ControllerBase):
     # ------------------------------------------------------------------
     def _on_evict(self, line: CacheLine) -> None:
         self.stats.evictions += 1
-        # exp + 1 (not exp): see the module docstring.
-        self.dram.bump_mnow(max(line.exp + 1, line.ver))
+        # post_lease (exp + 1, not the paper's exp): see the module docstring.
+        self.dram.bump_mnow(max(post_lease(line.exp), line.ver))
+        if self.sanitizer is not None:
+            self._emit(EV.L2_EVICT, line.addr, ver=line.ver, exp=line.exp,
+                       mnow_after=self.dram.mnow, epoch=self.rollover.epoch)
         if line.dirty:
             self.writeback_to_dram(line.addr, line.value)
 
@@ -338,6 +377,8 @@ class RCCL2Controller(L2ControllerBase):
         """Zero every timestamp this bank holds (queued message timestamps
         are neutralized by epoch clamping on dequeue)."""
         self.stats.rollovers += 1
+        if self.sanitizer is not None:
+            self._emit(EV.L2_ROLLOVER, 0, epoch=self.rollover.epoch)
         for line in self.cache.lines():
             line.ver = 0
             line.exp = 0

@@ -62,5 +62,28 @@ class ConsistencyViolation(ReproError):
     consistent (or violates coherence's per-location write serialization)."""
 
 
+class InvariantViolation(ReproError):
+    """The runtime sanitizer caught a coherence-invariant break mid-flight.
+
+    Unlike :class:`ConsistencyViolation` (an end-state SC check), this names
+    the exact protocol step that broke and the paper rule it violates, and
+    points at the JSONL trace dump when one was written.
+    """
+
+    def __init__(self, invariant: str, event, detail: str, citation: str,
+                 trace_path=None):
+        self.invariant = invariant
+        self.event = event
+        self.detail = detail
+        self.citation = citation
+        self.trace_path = trace_path
+        msg = f"invariant {invariant!r} violated: {detail}\n  at {event!r}"
+        if citation:
+            msg += f"\n  rule: {citation}"
+        if trace_path:
+            msg += f"\n  trace: {trace_path}"
+        super().__init__(msg)
+
+
 class TraceError(ReproError):
     """A malformed workload trace (bad op, misaligned barrier, ...)."""

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.config import GPUConfig
+from repro.sanitize.sanitizer import (sanitize_enabled_from_env,
+                                      trace_out_from_env)
 from repro.sim.gpusim import run_simulation
 from repro.sim.results import SimResult
 from repro.workloads import get_workload
@@ -101,12 +103,21 @@ def derive_seed(base: int, *parts: Any) -> int:
 
 
 def run_cell(cell: SimCell) -> SimResult:
-    """Execute one cell (the executor's default worker function)."""
+    """Execute one cell (the executor's default worker function).
+
+    The sanitizer rides along via environment toggles (``RCC_SANITIZE`` /
+    ``RCC_TRACE_OUT``) rather than cell fields: forked sweep workers
+    inherit the runner's environment, and the cell key — hence the result
+    cache — stays independent of a checking mode that must not change
+    results.
+    """
     wl = get_workload(cell.workload, intensity=cell.intensity,
                       seed=cell.seed)
     cfg = cell.effective_cfg()
     return run_simulation(cfg, cell.protocol, wl.generate(cfg),
-                          cell.workload)
+                          cell.workload,
+                          sanitize=sanitize_enabled_from_env(),
+                          trace_out=trace_out_from_env())
 
 
 def sweep_cells(cfg: GPUConfig, protocols: Iterable[str],

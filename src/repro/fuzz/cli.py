@@ -83,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "generating programs")
     p.add_argument("--verbose", "-v", action="store_true",
                    help="print a line per program")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run every simulation with the coherence-invariant "
+                        "sanitizer; a violation fails the program")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="with --sanitize: dump the last coherence events "
+                        "as JSON lines to FILE on a violation")
     return p
 
 
@@ -99,7 +105,9 @@ def _runner(args) -> DifferentialRunner:
     cfg = CONFIGS[args.config]()
     protocols = (available_protocols() if args.protocols == "all"
                  else [s.strip() for s in args.protocols.split(",") if s.strip()])
-    return DifferentialRunner(cfg=cfg, protocols=protocols)
+    return DifferentialRunner(cfg=cfg, protocols=protocols,
+                              sanitize=args.sanitize,
+                              trace_out=args.trace_out)
 
 
 def _replay(args, runner: DifferentialRunner) -> int:

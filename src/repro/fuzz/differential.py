@@ -76,12 +76,15 @@ class ProtocolExecutor:
     """Runs programs under one registered coherence protocol via the full
     cycle-accurate simulator."""
 
-    def __init__(self, protocol: str, cfg: Optional[GPUConfig] = None):
+    def __init__(self, protocol: str, cfg: Optional[GPUConfig] = None,
+                 sanitize: bool = False, trace_out: Optional[str] = None):
         self.name = protocol
         self.protocol = protocol
         self.sc = consistency_of(protocol) == "sc"
         self.base_cfg = cfg or GPUConfig.small()
         self.block_bytes = self.base_cfg.l1.block_bytes
+        self.sanitize = sanitize
+        self.trace_out = trace_out
 
     def _shape_cfg(self, program: FuzzProgram) -> GPUConfig:
         """Trim (or grow) the machine to the program's warp grid so tiny
@@ -93,8 +96,12 @@ class ProtocolExecutor:
     def execute(self, program: FuzzProgram) -> ExecutionOutcome:
         cfg = self._shape_cfg(program)
         try:
+            # An InvariantViolation surfaces as an execution error, so a
+            # sanitized campaign fails on the program that triggered it.
             res = run_simulation(cfg, self.protocol, program.to_traces(cfg),
-                                 workload_name=program.name, record_ops=True)
+                                 workload_name=program.name, record_ops=True,
+                                 sanitize=self.sanitize,
+                                 trace_out=self.trace_out)
         except ReproError as exc:
             return ExecutionOutcome(executor=self.name, sc=self.sc,
                                     error=f"{type(exc).__name__}: {exc}")
@@ -147,10 +154,14 @@ class DifferentialRunner:
                  protocols: Optional[Sequence[str]] = None,
                  executors: Optional[Sequence[Any]] = None,
                  oracle_max_states: int = 500_000,
-                 oracle_on_wo: bool = True):
+                 oracle_on_wo: bool = True,
+                 sanitize: bool = False,
+                 trace_out: Optional[str] = None):
         if executors is None:
             names = list(protocols) if protocols else available_protocols()
-            executors = [ProtocolExecutor(p, cfg) for p in names]
+            executors = [ProtocolExecutor(p, cfg, sanitize=sanitize,
+                                          trace_out=trace_out)
+                         for p in names]
         self.executors = list(executors)
         self.oracle_max_states = oracle_max_states
         self.oracle_on_wo = oracle_on_wo

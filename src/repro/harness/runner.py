@@ -24,12 +24,14 @@ continues with the remaining experiments, and exits non-zero at the end.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional, Tuple
 
 from repro.config import GPUConfig
 from repro.exec import ResultCache, SweepExecutor
+from repro.sanitize.sanitizer import ENV_SANITIZE, ENV_TRACE_OUT
 from repro.harness.experiments import ALL_EXPERIMENTS, ExperimentResult, \
     Harness
 from repro.harness.tables import render_markdown
@@ -66,6 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="per-cell wall-clock timeout; a wedged cell is "
                         "retried once in a fresh worker (default: none)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run every simulation with the coherence-invariant "
+                        "sanitizer enabled (aborts on the first violation; "
+                        "implies --no-cache so every cell really runs)")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="with --sanitize: dump the last coherence events as "
+                        "JSON lines to FILE when a violation is caught")
     return p
 
 
@@ -96,13 +105,21 @@ def build_report(results: List[ExperimentResult]) -> str:
 
 def make_executor(args) -> SweepExecutor:
     """The sweep executor the CLI flags describe."""
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    # --sanitize disables the cache: a cached result would skip the
+    # simulation, and with it every invariant check.
+    cache = (None if args.no_cache or args.sanitize
+             else ResultCache(args.cache_dir))
     return SweepExecutor(jobs=args.jobs, cache=cache,
                          timeout=args.cell_timeout, on_summary=print)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.sanitize:
+        # Environment toggles, so forked sweep workers inherit them.
+        os.environ[ENV_SANITIZE] = "1"
+        if args.trace_out:
+            os.environ[ENV_TRACE_OUT] = args.trace_out
     cfg = GPUConfig.paper() if args.paper_config else GPUConfig.bench()
     intensity = 0.1 if args.quick else args.intensity
     harness = Harness(cfg=cfg, intensity=intensity, seed=args.seed,

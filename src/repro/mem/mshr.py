@@ -72,13 +72,16 @@ class MSHRFile:
         return entry
 
     def release(self, addr: int) -> None:
-        entry = self._entries.pop(addr, None)
+        entry = self._entries.get(addr)
         if entry is None:
             raise SimulationError(f"releasing absent MSHR entry 0x{addr:x}")
         if not entry.empty:
+            # Refuse *without* dropping the entry: the outstanding requests
+            # it tracks must stay reachable for whoever handles the error.
             raise SimulationError(
                 f"releasing non-empty MSHR entry 0x{addr:x}: {entry!r}"
             )
+        del self._entries[addr]
 
     def release_if_empty(self, addr: int) -> bool:
         entry = self._entries.get(addr)

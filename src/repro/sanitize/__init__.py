@@ -1,0 +1,37 @@
+"""Runtime coherence-invariant sanitizer (see DESIGN.md appendix)."""
+
+from repro.sanitize.events import CoherenceEvent, EventKind, TraceRing
+from repro.sanitize.invariants import (
+    CrossProtocolInvariants,
+    InvariantSuite,
+    MESIInvariants,
+    RCCInvariants,
+    TCInvariants,
+    Violation,
+    suites_for,
+)
+from repro.sanitize.sanitizer import (
+    ENV_SANITIZE,
+    ENV_TRACE_OUT,
+    Sanitizer,
+    sanitize_enabled_from_env,
+    trace_out_from_env,
+)
+
+__all__ = [
+    "CoherenceEvent",
+    "EventKind",
+    "TraceRing",
+    "InvariantSuite",
+    "Violation",
+    "RCCInvariants",
+    "TCInvariants",
+    "MESIInvariants",
+    "CrossProtocolInvariants",
+    "suites_for",
+    "Sanitizer",
+    "sanitize_enabled_from_env",
+    "trace_out_from_env",
+    "ENV_SANITIZE",
+    "ENV_TRACE_OUT",
+]

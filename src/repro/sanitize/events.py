@@ -1,0 +1,130 @@
+"""Structured coherence-event stream (sanitizer tentpole).
+
+Every L1/L2 state transition of interest emits one :class:`CoherenceEvent`
+into the active :class:`~repro.sanitize.sanitizer.Sanitizer`. An event is a
+flat, JSON-able record — who (unit + id), when (cycle + global sequence
+number), what (kind + block address), plus the protocol state the invariant
+suites need (clocks, versions, lease expiries, sharer counts, ...).
+
+Event kinds are dotted strings (``l1.load.hit``, ``l2.write.apply``); the
+:class:`EventKind` namespace enumerates them so suites and tests never match
+against typos. Kinds are shared across protocols — an RCC ``l2.write.apply``
+carries ``ver``/``prev_exp`` while a MESI one carries ``completed_at``; each
+suite only reads the fields its protocol emits.
+
+The :class:`TraceRing` keeps the last N events so a violation (or a deadlock
+diagnostic) arrives with the exact protocol steps that led up to it, and can
+dump them as JSON-lines for offline inspection (``--trace-out``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+
+class EventKind:
+    """Namespace of event-kind strings (not an enum: kinds stay plain
+    strings so events serialize to JSON without adapters)."""
+
+    # L1-side transitions.
+    L1_LOAD_HIT = "l1.load.hit"
+    L1_LOAD_MISS = "l1.load.miss"
+    L1_STORE_ISSUE = "l1.store.issue"
+    L1_FILL = "l1.fill"
+    L1_RENEW = "l1.renew"
+    L1_STORE_ACK = "l1.store.ack"
+    L1_SELF_INVAL = "l1.self_invalidate"
+    L1_INV = "l1.inv"
+    L1_EVICT = "l1.evict"
+    L1_ROLLOVER = "l1.rollover_flush"
+
+    # L2-side transitions.
+    L2_READ_GRANT = "l2.read.grant"
+    L2_RENEW_GRANT = "l2.renew.grant"
+    L2_WRITE_APPLY = "l2.write.apply"
+    L2_WRITE_MERGE = "l2.write.merge"
+    L2_WRITE_BUFFER = "l2.write.buffer"
+    L2_ATOMIC_APPLY = "l2.atomic.apply"
+    L2_FILL = "l2.fill"
+    L2_EVICT = "l2.evict"
+    L2_ROLLOVER = "l2.rollover_reset"
+
+
+class CoherenceEvent:
+    """One observed protocol step."""
+
+    __slots__ = ("seq", "cycle", "kind", "unit", "unit_id", "addr", "fields")
+
+    def __init__(self, seq: int, cycle: int, kind: str, unit: str,
+                 unit_id: int, addr: int, fields: Dict[str, Any]):
+        self.seq = seq          # global emission order (1-based)
+        self.cycle = cycle      # engine cycle at emission
+        self.kind = kind        # one of the EventKind strings
+        self.unit = unit        # "L1" or "L2"
+        self.unit_id = unit_id  # core id (L1) or bank id (L2)
+        self.addr = addr        # block base address
+        self.fields = fields    # protocol-specific payload
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = {"seq": self.seq, "cycle": self.cycle, "kind": self.kind,
+             "unit": self.unit, "unit_id": self.unit_id, "addr": self.addr}
+        d.update(self.fields)
+        return d
+
+    def __repr__(self) -> str:
+        where = f"{self.unit}[{self.unit_id}]"
+        extra = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return (f"<{self.kind} @{self.cycle} #{self.seq} {where} "
+                f"addr=0x{self.addr:x}{' ' + extra if extra else ''}>")
+
+
+class TraceRing:
+    """Fixed-depth ring buffer of the most recent events."""
+
+    def __init__(self, depth: int = 256):
+        if depth <= 0:
+            raise ValueError(f"trace ring depth must be positive: {depth}")
+        self.depth = depth
+        self._buf: List[Optional[CoherenceEvent]] = [None] * depth
+        self._next = 0
+        self.total = 0
+
+    def append(self, ev: CoherenceEvent) -> None:
+        self._buf[self._next] = ev
+        self._next = (self._next + 1) % self.depth
+        self.total += 1
+
+    def events(self) -> List[CoherenceEvent]:
+        """Buffered events, oldest first."""
+        if self.total < self.depth:
+            out = self._buf[:self._next]
+        else:
+            out = self._buf[self._next:] + self._buf[:self._next]
+        return [ev for ev in out if ev is not None]
+
+    def dump_jsonl(self, path: str) -> str:
+        """Write the buffered events as JSON lines; returns the path
+        actually written (suffixed if ``path`` already exists, so dumps
+        from multiple violations or worker processes never clobber)."""
+        target = path
+        suffix = 0
+        while True:
+            try:
+                with open(target, "x") as f:
+                    for ev in self.events():
+                        f.write(json.dumps(ev.to_dict(), default=str) + "\n")
+                return target
+            except FileExistsError:
+                suffix += 1
+                target = f"{path}.{suffix}"
+
+    def tail_text(self, n: int = 8) -> str:
+        """The last ``n`` events as readable lines (deadlock diagnostics)."""
+        evs = self.events()[-n:]
+        if not evs:
+            return "(no coherence events recorded)"
+        return "\n".join(repr(ev) for ev in evs)

@@ -1,0 +1,565 @@
+"""Per-protocol invariant suites checked on every coherence event.
+
+Each suite is a small state machine fed the event stream of one simulation;
+``check(event)`` returns ``None`` (fine) or a :class:`Violation` naming the
+broken invariant, a human-readable detail, and the paper passage the
+invariant encodes. Suites keep *shadow* state (per-core clocks, per-block
+versions, shadow sharer sets) rebuilt purely from events, so a violation
+always means the controllers disagree with the protocol's own rules — not
+with some parallel implementation of them.
+
+Suites and their invariants:
+
+* :class:`RCCInvariants` — RCC / RCC-WO (paper §III-B..E): reads stay
+  within their lease (``ver <= now <= exp``), granted leases satisfy
+  ``ver <= exp`` and cover the requester, write versions strictly exceed
+  every outstanding lease and never regress, per-core logical clocks are
+  monotone within an epoch, the VI optimization only drops copies that the
+  store's version actually expired, L2 evictions fold ``max(exp+1, ver)``
+  into ``mnow``, and every timestamp fits the configured hardware width.
+* :class:`TCInvariants` — TC-strong / TC-weak (Singh et al., HPCA 2013):
+  physical-lease hits satisfy ``now <= exp``; TCS buffered stores serialize
+  strictly after every lease (and new read leases never reach past the
+  earliest pending store's serialization point); TCW per-warp GWCTs are
+  monotone and cover the write's application time.
+* :class:`MESIInvariants` — MESI / SC-IDEAL: directory sharer tracking
+  covers every live L1 copy (an L1 hit from a core the directory is not
+  tracking means a missable invalidation), and a write applies only when
+  the shadow copy set is empty (single-writer / write atomicity).
+* :class:`CrossProtocolInvariants` — every protocol: per-block write
+  serialization is a total order — physical arrival keys strictly increase
+  and serialization timestamps never decrease, so no two writes share a
+  logical instant (single-writer-per-logical-instant).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+from repro.sanitize.events import CoherenceEvent, EventKind as EV
+
+
+class Violation(NamedTuple):
+    """One broken invariant, ready to wrap in an exception."""
+
+    invariant: str   # dotted invariant name, e.g. "rcc.read.within_lease"
+    detail: str      # human-readable explanation with the observed values
+    citation: str    # paper passage the invariant encodes
+
+
+class InvariantSuite:
+    """Base: a stateful checker fed one event at a time."""
+
+    name = "base"
+
+    def check(self, ev: CoherenceEvent) -> Optional[Violation]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# RCC (logical timestamps)
+# ----------------------------------------------------------------------
+
+class RCCInvariants(InvariantSuite):
+    """RCC / RCC-WO lease, clock, and rollover invariants."""
+
+    name = "rcc"
+
+    def __init__(self, ts_bits: int):
+        self.ts_limit = 1 << ts_bits
+        #: (core, view) -> (epoch, last observed logical now)
+        self._clock: Dict[Tuple[int, str], Tuple[int, int]] = {}
+        #: block -> (epoch, last observed version at the L2)
+        self._ver: Dict[int, Tuple[int, int]] = {}
+        #: (core, block) -> (epoch, exp) of a *pre-store* copy: a valid
+        #: copy that existed when a store issued (the VI state). A later
+        #: fill replaces the copy with the L2's post-write value, so it
+        #: clears the entry — the VI legality rule only constrains acks
+        #: against copies that predate the store.
+        self._vi: Dict[Tuple[int, int], Tuple[int, int]] = {}
+
+    # -- helpers -------------------------------------------------------
+    def _bounds(self, ev: CoherenceEvent) -> Optional[Violation]:
+        for key in ("now", "exp", "ver", "now_after", "mnow", "mnow_after",
+                    "prev_ver", "prev_exp", "m_now", "lastwr", "lastrd"):
+            val = ev.get(key)
+            if val is not None and val >= self.ts_limit:
+                return Violation(
+                    "rcc.rollover.bounds",
+                    f"{key}={val} exceeds the {self.ts_limit - 1} hardware "
+                    f"timestamp limit in {ev!r}",
+                    "§III-D: rollover must fire before any timestamp "
+                    "computation overflows the hardware width")
+        return None
+
+    def _clock_monotone(self, core: int, view: str, epoch: int, now: int,
+                        ev: CoherenceEvent) -> Optional[Violation]:
+        prev = self._clock.get((core, view))
+        if prev is not None and prev[0] == epoch and now < prev[1]:
+            return Violation(
+                "rcc.clock.monotone",
+                f"core {core} {view} view went backwards "
+                f"{prev[1]} -> {now} in epoch {epoch} at {ev!r}",
+                "§III-B: a core's logical now only advances (rules 1-3)")
+        self._clock[(core, view)] = (epoch, now)
+        return None
+
+    def _ver_monotone(self, addr: int, epoch: int, ver: int,
+                      ev: CoherenceEvent) -> Optional[Violation]:
+        prev = self._ver.get(addr)
+        if prev is not None and (epoch, ver) < prev:
+            return Violation(
+                "rcc.block.ver_monotone",
+                f"block 0x{addr:x} version regressed {prev} -> "
+                f"({epoch}, {ver}) at {ev!r}",
+                "§III-B rule 3: a block's version never decreases")
+        self._ver[addr] = (epoch, ver)
+        return None
+
+    # -- dispatch ------------------------------------------------------
+    def check(self, ev: CoherenceEvent) -> Optional[Violation]:
+        v = self._bounds(ev)
+        if v is not None:
+            return v
+        kind = ev.kind
+        if kind == EV.L1_LOAD_HIT:
+            return self._on_hit(ev)
+        if kind == EV.L1_FILL:
+            return self._on_fill(ev)
+        if kind == EV.L1_STORE_ISSUE:
+            copy_exp = ev.get("copy_exp")
+            if copy_exp is not None:
+                self._vi[(ev.unit_id, ev.addr)] = (ev.get("epoch", 0),
+                                                   copy_exp)
+            return None
+        if kind == EV.L1_RENEW:
+            # A RENEW extends the (pre-store) copy's lease in place.
+            key = (ev.unit_id, ev.addr)
+            if key in self._vi:
+                self._vi[key] = (ev.get("epoch", 0), ev.get("exp"))
+            return None
+        if kind in (EV.L1_SELF_INVAL, EV.L1_EVICT):
+            self._vi.pop((ev.unit_id, ev.addr), None)
+            return None
+        if kind == EV.L1_ROLLOVER:
+            for key in [k for k in self._vi if k[0] == ev.unit_id]:
+                del self._vi[key]
+            return None
+        if kind == EV.L1_STORE_ACK:
+            return self._on_store_ack(ev)
+        if kind in (EV.L2_READ_GRANT, EV.L2_RENEW_GRANT):
+            return self._on_grant(ev)
+        if kind in (EV.L2_WRITE_APPLY, EV.L2_ATOMIC_APPLY):
+            return self._on_write_apply(ev)
+        if kind == EV.L2_WRITE_MERGE:
+            return self._on_write_merge(ev)
+        if kind == EV.L2_FILL:
+            return self._on_l2_fill(ev)
+        if kind == EV.L2_EVICT:
+            return self._on_l2_evict(ev)
+        return None
+
+    # -- L1 ------------------------------------------------------------
+    def _on_hit(self, ev: CoherenceEvent) -> Optional[Violation]:
+        now, exp = ev.get("now"), ev.get("exp")
+        if now > exp:
+            return Violation(
+                "rcc.read.within_lease",
+                f"L1[{ev.unit_id}] load hit on block 0x{ev.addr:x} with "
+                f"now={now} past the lease exp={exp}",
+                "§III-B rule 1 / Fig. 5: a V copy is readable only while "
+                "ver <= now <= exp; past exp it must self-invalidate")
+        return self._clock_monotone(ev.unit_id, ev.get("view", "read"),
+                                    ev.get("epoch", 0), now, ev)
+
+    def _on_fill(self, ev: CoherenceEvent) -> Optional[Violation]:
+        # Any fill carries the L2's current value (merged writes included),
+        # so the copy it installs is no longer a pre-store copy.
+        self._vi.pop((ev.unit_id, ev.addr), None)
+        ver, exp = ev.get("ver"), ev.get("exp")
+        if ver > exp:
+            return Violation(
+                "rcc.grant.ver_le_exp",
+                f"fill for block 0x{ev.addr:x} grants ver={ver} > exp={exp}",
+                "§III-C: a granted lease always satisfies ver <= exp")
+        now_after = ev.get("now_after")
+        if now_after < ver:
+            return Violation(
+                "rcc.clock.covers_version",
+                f"L1[{ev.unit_id}] read view {now_after} below the "
+                f"observed version {ver} after fill of 0x{ev.addr:x}",
+                "§III-B rule 1: observing a value advances the reader to "
+                "at least its version")
+        return self._clock_monotone(ev.unit_id, ev.get("view", "read"),
+                                    ev.get("epoch", 0), now_after, ev)
+
+    def _on_store_ack(self, ev: CoherenceEvent) -> Optional[Violation]:
+        ver = ev.get("ver")
+        vi = self._vi.get((ev.unit_id, ev.addr))
+        # Only meaningful when every epoch involved is current: a
+        # stale-epoch ack clamps to ver=0 and conservatively drops the
+        # (valid) new copy.
+        cur = ev.get("cur_epoch")
+        if (vi is not None and ev.get("epoch") == cur and vi[0] == cur
+                and ver <= vi[1]):
+            return Violation(
+                "rcc.vi.store_past_lease",
+                f"L1[{ev.unit_id}] store ack ver={ver} does not exceed the "
+                f"pre-store copy's lease exp={vi[1]} on 0x{ev.addr:x}",
+                "§III-B rules 2-3: the write's version exceeds every lease, "
+                "which is what makes the VI pre-store copy legal to read "
+                "before (and only before) the ack")
+        now_after = ev.get("now_after")
+        if now_after < ver:
+            return Violation(
+                "rcc.clock.covers_version",
+                f"L1[{ev.unit_id}] write view {now_after} below the acked "
+                f"version {ver} on 0x{ev.addr:x}",
+                "§III-B rules 2-3: the writer moves to the write's time")
+        return self._clock_monotone(ev.unit_id, ev.get("view", "write"),
+                                    ev.get("cur_epoch", ev.get("epoch", 0)),
+                                    now_after, ev)
+
+    # -- L2 ------------------------------------------------------------
+    def _on_grant(self, ev: CoherenceEvent) -> Optional[Violation]:
+        ver, exp, m_now = ev.get("ver", 0), ev.get("exp"), ev.get("m_now")
+        if ver > exp:
+            return Violation(
+                "rcc.grant.ver_le_exp",
+                f"L2[{ev.unit_id}] grant on 0x{ev.addr:x} with ver={ver} > "
+                f"exp={exp}",
+                "§III-C: a granted lease always satisfies ver <= exp")
+        if exp < m_now:
+            return Violation(
+                "rcc.grant.covers_reader",
+                f"L2[{ev.unit_id}] grant exp={exp} on 0x{ev.addr:x} does "
+                f"not cover the requester's now={m_now}",
+                "§III-C: the extended lease covers the reader "
+                "(exp >= max(ver, M.now) + lease)")
+        return None
+
+    def _on_write_apply(self, ev: CoherenceEvent) -> Optional[Violation]:
+        ver = ev.get("ver")
+        prev_ver, prev_exp = ev.get("prev_ver"), ev.get("prev_exp")
+        m_now = ev.get("m_now")
+        if prev_exp is not None and ver <= prev_exp:
+            return Violation(
+                "rcc.write.past_lease",
+                f"L2[{ev.unit_id}] write on 0x{ev.addr:x} applied at "
+                f"ver={ver} under an outstanding lease exp={prev_exp}",
+                "§III-B rule 3: ver = max(M.now, D.ver, D.exp + 1) — the "
+                "write serializes strictly after every granted lease")
+        if prev_ver is not None and ver < prev_ver:
+            return Violation(
+                "rcc.write.past_lease",
+                f"L2[{ev.unit_id}] write on 0x{ev.addr:x} regressed the "
+                f"version {prev_ver} -> {ver}",
+                "§III-B rule 3: versions never decrease")
+        if m_now is not None and ver < m_now:
+            return Violation(
+                "rcc.write.past_lease",
+                f"L2[{ev.unit_id}] write on 0x{ev.addr:x} acked at "
+                f"ver={ver} before the writer's now={m_now}",
+                "§III-B rule 2: the write happens at or after the "
+                "writer's logical now")
+        return self._ver_monotone(ev.addr, ev.get("epoch", 0), ver, ev)
+
+    def _on_write_merge(self, ev: CoherenceEvent) -> Optional[Violation]:
+        ver, lastwr, mnow = ev.get("ver"), ev.get("lastwr"), ev.get("mnow")
+        if ver < lastwr or ver < mnow:
+            return Violation(
+                "rcc.write.merge_monotone",
+                f"L2[{ev.unit_id}] merged-write ack ver={ver} on "
+                f"0x{ev.addr:x} below lastwr={lastwr} / mnow={mnow}",
+                "§III-D: early acks carry ver = max(lastwr, mnow), past "
+                "every merged writer and the partition's fold of evicted "
+                "leases")
+        return self._ver_monotone(ev.addr, ev.get("epoch", 0), ver, ev)
+
+    def _on_l2_fill(self, ev: CoherenceEvent) -> Optional[Violation]:
+        ver, exp, mnow = ev.get("ver"), ev.get("exp"), ev.get("mnow")
+        if ver < mnow:
+            return Violation(
+                "rcc.fill.covers_mnow",
+                f"L2[{ev.unit_id}] fill of 0x{ev.addr:x} set ver={ver} "
+                f"below mnow={mnow}",
+                "§III-D: a reloaded block's version starts at mnow so it "
+                "cannot be read before its last (evicted) write")
+        if ev.get("has_read"):
+            lastrd = ev.get("lastrd")
+            if exp < lastrd or ver > exp:
+                return Violation(
+                    "rcc.fill.covers_readers",
+                    f"L2[{ev.unit_id}] fill of 0x{ev.addr:x} grants "
+                    f"exp={exp} (ver={ver}) not covering lastrd={lastrd}",
+                    "§III-D: the fill's lease covers every reader merged "
+                    "while the block was in flight")
+        return self._ver_monotone(ev.addr, ev.get("epoch", 0), ver, ev)
+
+    def _on_l2_evict(self, ev: CoherenceEvent) -> Optional[Violation]:
+        ver, exp = ev.get("ver"), ev.get("exp")
+        mnow_after = ev.get("mnow_after")
+        if mnow_after < exp + 1 or mnow_after < ver:
+            return Violation(
+                "rcc.evict.folds_lease",
+                f"L2[{ev.unit_id}] evicted 0x{ev.addr:x} (ver={ver}, "
+                f"exp={exp}) but mnow only reached {mnow_after}",
+                "§III-D: eviction folds max(exp + 1, ver) into mnow so a "
+                "reloaded block can neither be read before its last write "
+                "nor written under a surviving lease")
+        return None
+
+
+# ----------------------------------------------------------------------
+# TC-strong / TC-weak (physical timestamps)
+# ----------------------------------------------------------------------
+
+class TCInvariants(InvariantSuite):
+    """Singh et al. lease-expiry and GWCT invariants."""
+
+    name = "tc"
+
+    def __init__(self, strong: bool):
+        self.strong = strong
+        #: block -> ack times of buffered (not yet applied) TCS stores.
+        self._pending: Dict[int, List[int]] = {}
+        #: (core, warp) -> last observed accumulated GWCT (TCW).
+        self._gwct: Dict[Tuple[int, int], int] = {}
+
+    def check(self, ev: CoherenceEvent) -> Optional[Violation]:
+        kind = ev.kind
+        if kind == EV.L1_LOAD_HIT:
+            if ev.cycle > ev.get("exp"):
+                return Violation(
+                    "tc.read.within_lease",
+                    f"L1[{ev.unit_id}] hit on 0x{ev.addr:x} at cycle "
+                    f"{ev.cycle} past the physical lease exp={ev.get('exp')}",
+                    "Singh et al. §III: a TC copy self-invalidates once the "
+                    "global clock passes its lease")
+            return None
+        if kind == EV.L2_WRITE_BUFFER:
+            return self._on_buffer(ev)
+        if kind in (EV.L2_WRITE_APPLY, EV.L2_ATOMIC_APPLY):
+            return self._on_apply(ev)
+        if kind == EV.L2_READ_GRANT:
+            return self._on_grant(ev)
+        if kind == EV.L2_EVICT:
+            if self.strong and self._pending.get(ev.addr):
+                return Violation(
+                    "tcs.evict.buffered_store",
+                    f"L2[{ev.unit_id}] evicted 0x{ev.addr:x} with "
+                    f"{len(self._pending[ev.addr])} buffered store(s)",
+                    "TCS: a line with a buffered store is pinned until the "
+                    "store applies")
+            return None
+        if kind == EV.L1_STORE_ACK and not self.strong:
+            return self._on_weak_ack(ev)
+        return None
+
+    def _on_buffer(self, ev: CoherenceEvent) -> Optional[Violation]:
+        ack_at, exp = ev.get("ack_at"), ev.get("exp")
+        self._pending.setdefault(ev.addr, []).append(ack_at)
+        if ack_at <= exp:
+            return Violation(
+                "tcs.store.past_leases",
+                f"L2[{ev.unit_id}] buffered store on 0x{ev.addr:x} acks at "
+                f"{ack_at}, inside the outstanding lease exp={exp}",
+                "Singh et al. §IV (TC-strong): a store is acknowledged "
+                "only once every outstanding lease has expired")
+        return None
+
+    def _on_apply(self, ev: CoherenceEvent) -> Optional[Violation]:
+        completed_at = ev.get("completed_at")
+        pending = self._pending.get(ev.addr)
+        if pending and completed_at in pending:
+            pending.remove(completed_at)
+        if not self.strong:
+            gwct = ev.get("gwct")
+            if gwct is not None and gwct < completed_at:
+                return Violation(
+                    "tcw.gwct.covers_apply",
+                    f"L2[{ev.unit_id}] TCW write on 0x{ev.addr:x} returned "
+                    f"gwct={gwct} before its application at {completed_at}",
+                    "Singh et al. §V (TC-weak): the GWCT is the time the "
+                    "write becomes globally visible — never before it "
+                    "applies")
+            return None
+        exp = ev.get("exp")
+        if exp is not None and completed_at <= exp:
+            return Violation(
+                "tcs.store.past_leases",
+                f"L2[{ev.unit_id}] buffered store on 0x{ev.addr:x} applied "
+                f"at {completed_at} while a lease ran to exp={exp}",
+                "Singh et al. §IV (TC-strong): write atomicity requires "
+                "the store to serialize strictly after every lease on the "
+                "old value")
+        return None
+
+    def _on_grant(self, ev: CoherenceEvent) -> Optional[Violation]:
+        if not self.strong:
+            return None
+        pending = self._pending.get(ev.addr)
+        if pending and ev.get("exp") >= min(pending):
+            return Violation(
+                "tcs.grant.under_pending_store",
+                f"L2[{ev.unit_id}] granted a lease on 0x{ev.addr:x} to "
+                f"exp={ev.get('exp')} reaching past the earliest pending "
+                f"store's serialization at {min(pending)}",
+                "Singh et al. §IV (TC-strong): while a store waits, reads "
+                "of the old value must not stay valid past the store's "
+                "serialization point — else a stale copy outlives the "
+                "write and write atomicity breaks")
+        return None
+
+    def _on_weak_ack(self, ev: CoherenceEvent) -> Optional[Violation]:
+        gwct, warp = ev.get("gwct"), ev.get("warp")
+        if gwct is None:
+            return None
+        key = (ev.unit_id, warp)
+        prev = self._gwct.get(key, 0)
+        if gwct < prev:
+            return Violation(
+                "tcw.gwct.monotone",
+                f"core {ev.unit_id} warp {warp} GWCT regressed "
+                f"{prev} -> {gwct} at {ev!r}",
+                "Singh et al. §V (TC-weak): the per-warp GWCT accumulates "
+                "as a running max; a fence waits for all of it")
+        self._gwct[key] = gwct
+        return None
+
+
+# ----------------------------------------------------------------------
+# MESI / SC-IDEAL (directory)
+# ----------------------------------------------------------------------
+
+class MESIInvariants(InvariantSuite):
+    """Directory agreement and single-writer invariants.
+
+    Shadow state from events alone: ``_copies`` is the set of cores whose
+    L1 demonstrably holds a valid copy (installed by a fill, dropped by
+    INV / self-invalidation / eviction); ``_granted`` over-approximates the
+    directory's sharer list (grants add, write application clears).
+    """
+
+    name = "mesi"
+
+    def __init__(self) -> None:
+        self._copies: Dict[int, Set[int]] = {}
+        self._granted: Dict[int, Set[int]] = {}
+
+    def check(self, ev: CoherenceEvent) -> Optional[Violation]:
+        kind, addr = ev.kind, ev.addr
+        if kind == EV.L1_FILL:
+            if ev.get("installed"):
+                self._copies.setdefault(addr, set()).add(ev.unit_id)
+            else:
+                self._copies.get(addr, set()).discard(ev.unit_id)
+            return None
+        if kind in (EV.L1_INV, EV.L1_SELF_INVAL):
+            self._copies.get(addr, set()).discard(ev.unit_id)
+            return None
+        if kind == EV.L1_EVICT:
+            if ev.get("state") == "V":
+                self._copies.get(addr, set()).discard(ev.unit_id)
+            return None
+        if kind == EV.L1_LOAD_HIT:
+            granted = self._granted.get(addr, set())
+            if ev.unit_id not in granted:
+                return Violation(
+                    "mesi.directory.covers_copy",
+                    f"L1[{ev.unit_id}] hit on 0x{addr:x} but the directory "
+                    f"never granted (or already revoked) its copy "
+                    f"(tracked sharers: {sorted(granted)})",
+                    "paper §II / Fig. 1c: an inclusive directory must track "
+                    "every L1 copy or a store's invalidations miss it")
+            return None
+        if kind == EV.L2_READ_GRANT:
+            self._granted.setdefault(addr, set()).add(ev.get("peer"))
+            return None
+        if kind == EV.L2_WRITE_APPLY:
+            holders = self._copies.get(addr, set())
+            if holders:
+                return Violation(
+                    "mesi.write.single_writer",
+                    f"L2[{ev.unit_id}] applied a write to 0x{addr:x} while "
+                    f"core(s) {sorted(holders)} still hold valid copies",
+                    "paper §II: the directory collects every INV ack "
+                    "before the store applies — write atomicity, the "
+                    "property SC rests on")
+            self._granted.get(addr, set()).clear()
+            return None
+        return None
+
+
+# ----------------------------------------------------------------------
+# Cross-protocol
+# ----------------------------------------------------------------------
+
+class CrossProtocolInvariants(InvariantSuite):
+    """Write-serialization order shared by every protocol.
+
+    Each applied/merged write carries a serialization timestamp (logical
+    version for RCC, application cycle for MESI/TC) and a per-bank arrival
+    key. Per block, arrivals must strictly increase and (epoch, timestamp)
+    must never decrease — i.e. writes to a block form a total order and no
+    two distinct writes share a logical instant.
+    """
+
+    name = "xp"
+
+    _WRITE_KINDS = (EV.L2_WRITE_APPLY, EV.L2_WRITE_MERGE, EV.L2_ATOMIC_APPLY)
+
+    def __init__(self) -> None:
+        #: block -> (epoch, serialization ts, arrival) of the last write.
+        self._last: Dict[int, Tuple[int, int, int]] = {}
+
+    def check(self, ev: CoherenceEvent) -> Optional[Violation]:
+        if ev.kind not in self._WRITE_KINDS:
+            return None
+        arrival = ev.get("arrival")
+        if arrival is None:
+            return None
+        ts = ev.get("ver")
+        if ts is None:
+            ts = ev.get("completed_at", ev.cycle)
+        epoch = ev.get("epoch", 0)
+        prev = self._last.get(ev.addr)
+        if prev is not None:
+            p_epoch, p_ts, p_arrival = prev
+            if arrival <= p_arrival:
+                return Violation(
+                    "xp.write.serialization_order",
+                    f"writes to 0x{ev.addr:x} arrived out of order: "
+                    f"arrival {arrival} after {p_arrival} at {ev!r}",
+                    "paper footnote 2: per-block writes serialize in "
+                    "physical L2 arrival order — the tiebreak that keeps "
+                    "equal-version writes a total order")
+            if (epoch, ts) < (p_epoch, p_ts):
+                return Violation(
+                    "xp.write.serialization_order",
+                    f"writes to 0x{ev.addr:x} regressed in serialization "
+                    f"time: ({epoch}, {ts}) after ({p_epoch}, {p_ts})",
+                    "§III-B rule 3 / §II: later writes never serialize "
+                    "before earlier ones — single writer per logical "
+                    "instant")
+        self._last[ev.addr] = (epoch, ts, arrival)
+        return None
+
+
+# ----------------------------------------------------------------------
+# Suite selection
+# ----------------------------------------------------------------------
+
+def suites_for(protocol: str, ts_bits: int, strong_tc: bool = True
+               ) -> List[InvariantSuite]:
+    """The invariant suites to run for ``protocol``. Unknown (test-injected)
+    protocols get the cross-protocol suite only."""
+    suites: List[InvariantSuite] = []
+    if protocol in ("RCC", "RCC-WO"):
+        suites.append(RCCInvariants(ts_bits))
+    elif protocol in ("TCS", "TCW"):
+        suites.append(TCInvariants(strong=protocol == "TCS"))
+    elif protocol in ("MESI", "SC-IDEAL"):
+        suites.append(MESIInvariants())
+    suites.append(CrossProtocolInvariants())
+    return suites

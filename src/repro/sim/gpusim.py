@@ -28,6 +28,7 @@ from repro.gpu.trace import WarpTrace
 from repro.gpu.warp import reset_op_seq
 from repro.mem.dram import DRAMPartition
 from repro.noc.crossbar import Crossbar
+from repro.sanitize.sanitizer import Sanitizer
 from repro.sim.results import SimResult
 from repro.timing.engine import Engine
 
@@ -38,7 +39,9 @@ class GPUSimulator:
     def __init__(self, cfg: GPUConfig, protocol: str,
                  traces: List[List[WarpTrace]],
                  workload_name: str = "custom",
-                 record_ops: bool = False):
+                 record_ops: bool = False,
+                 sanitize: bool = False,
+                 trace_out: Optional[str] = None):
         cfg.validate()
         if len(traces) != cfg.n_cores:
             raise ConfigError(
@@ -64,6 +67,12 @@ class GPUSimulator:
             protocol, self.engine, cfg, self.noc, self.amap, self.drams,
             self.backing,
         )
+        self.sanitizer: Optional[Sanitizer] = None
+        if sanitize:
+            self.sanitizer = Sanitizer(protocol, cfg, trace_out=trace_out)
+            for ctrl in list(self.proto.l1s) + list(self.proto.l2s):
+                ctrl.sanitizer = self.sanitizer
+            self.engine.diagnostics = self.sanitizer.diagnostics
         policy_kind = self.proto.consistency
         self._cores_done = 0
         self.cores: List[GPUCore] = []
@@ -116,11 +125,11 @@ class GPUSimulator:
         self.engine.run()
         if self._cores_done != self.cfg.n_cores:
             stuck = [c.core_id for c in self.cores if not c.finished]
-            raise DeadlockError(
-                self.engine.now,
-                f"cores {stuck} never finished "
-                f"({self.protocol_name}/{self.workload_name})",
-            )
+            detail = (f"cores {stuck} never finished "
+                      f"({self.protocol_name}/{self.workload_name})")
+            if self.sanitizer is not None:
+                detail += "\n" + self.sanitizer.diagnostics()
+            raise DeadlockError(self.engine.now, detail)
         cycles = max(c.stats.done_cycle or 0 for c in self.cores)
         op_logs = ([rec for c in self.cores for rec in c.op_log]
                    if self.record_ops else [])
@@ -145,7 +154,10 @@ class GPUSimulator:
 def run_simulation(cfg: GPUConfig, protocol: str,
                    traces: List[List[WarpTrace]],
                    workload_name: str = "custom",
-                   record_ops: bool = False) -> SimResult:
+                   record_ops: bool = False,
+                   sanitize: bool = False,
+                   trace_out: Optional[str] = None) -> SimResult:
     """Build and run one simulation; returns its :class:`SimResult`."""
-    sim = GPUSimulator(cfg, protocol, traces, workload_name, record_ops)
+    sim = GPUSimulator(cfg, protocol, traces, workload_name, record_ops,
+                       sanitize=sanitize, trace_out=trace_out)
     return sim.run()

@@ -27,9 +27,13 @@ def compare_runs(results: Sequence[SimResult],
             run = by_key.get((p, w))
             if base is None or run is None:
                 continue
-            speed.append(base.cycles / run.cycles)
-            energy.append(run.energy.total / base.energy.total)
-            traffic.append(run.total_flits / max(1, base.total_flits))
+            # Degenerate runs (empty trace -> 0 cycles, energy model off
+            # -> 0 total) must neither divide by zero nor feed a zero to
+            # the geometric mean; a zero on either side counts as 1.
+            speed.append(max(1, base.cycles) / max(1, run.cycles))
+            energy.append((run.energy.total or 1.0)
+                          / (base.energy.total or 1.0))
+            traffic.append(max(1, run.total_flits) / max(1, base.total_flits))
         if speed:
             out[p] = {
                 "speedup": geometric_mean(speed),
@@ -49,5 +53,5 @@ def speedup_table(results: Sequence[SimResult],
         base = by_key.get((baseline_protocol, w))
         if base is None:
             continue
-        rows.append([w, p, f"{base.cycles / run.cycles:.2f}x"])
+        rows.append([w, p, f"{base.cycles / max(1, run.cycles):.2f}x"])
     return rows

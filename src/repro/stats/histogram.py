@@ -56,6 +56,15 @@ class Histogram:
             if seen + n >= target:
                 lo = 0 if i == 0 else 1 << (i - 1)
                 hi = 0 if i == 0 else (1 << i) - 1
+                # The samples can only occupy [min, max] of the bucket's
+                # nominal range; clamping keeps e.g. a single-sample
+                # histogram's every percentile equal to that sample.
+                if self.min is not None:
+                    lo = max(lo, self.min)
+                if self.max is not None:
+                    hi = min(hi, self.max)
+                if hi <= lo:
+                    return float(lo)
                 frac = (target - seen) / n
                 return lo + frac * (hi - lo)
             seen += n
@@ -74,8 +83,10 @@ class Histogram:
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram into this one (per-core -> global)."""
         for i, n in enumerate(other._buckets):
-            if i < len(self._buckets):
-                self._buckets[i] += n
+            # A wider histogram's overflow buckets fold into our top
+            # (saturation) bucket instead of silently vanishing, so
+            # count/total/percentiles stay mutually consistent.
+            self._buckets[min(i, len(self._buckets) - 1)] += n
         self.count += other.count
         self.total += other.total
         for bound in (other.min, other.max):

@@ -62,6 +62,9 @@ class Engine:
         self._seq = 0
         self._events_fired = 0
         self._stopped = False
+        #: Optional () -> str hook appended to DeadlockError messages
+        #: (the sanitizer attaches its recent-event tail here).
+        self.diagnostics: Optional[Callable[[], str]] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -97,11 +100,12 @@ class Engine:
             if ev.cancelled:
                 continue
             if ev.cycle > self.max_cycles:
-                raise DeadlockError(
-                    self.now,
-                    f"event horizon exceeded max_cycles={self.max_cycles}; "
-                    "likely livelock or runaway simulation",
-                )
+                detail = (f"event horizon exceeded max_cycles="
+                          f"{self.max_cycles}; likely livelock or runaway "
+                          "simulation")
+                if self.diagnostics is not None:
+                    detail += "\n" + self.diagnostics()
+                raise DeadlockError(self.now, detail)
             self.now = ev.cycle
             ev.callback()
             self._events_fired += 1

@@ -133,3 +133,51 @@ def test_ideal_still_coherent(tiny_cfg):
                    key=lambda o: o.prog_index)
     st = [o for o in res.op_logs if o.kind is MemOpKind.STORE][0]
     assert loads[-1].read_value == st.value
+
+
+class TestEvictionRecallRace:
+    """Regression: an L2 eviction recalls its sharers' copies, but the
+    recall acks travel on the NoC. Until every ack returns, the directory
+    must refuse to re-allocate the block — a refetched line starts with an
+    empty sharer set, so a store could apply while an old sharer still
+    holds a (now stale) valid copy, silently breaking write atomicity.
+    Found by the coherence-invariant sanitizer (mesi.write.single_writer)
+    on the bfs workload."""
+
+    def test_refetch_blocked_until_recall_acks(self, small_cfg):
+        from repro.common.messages import Message
+        from repro.common.types import L2State, MsgKind
+        from tests.conftest import empty_traces
+
+        sim = GPUSimulator(small_cfg, "MESI", empty_traces(small_cfg),
+                           "recall-race", sanitize=True)
+        l2 = sim.proto.l2s[0]
+        inbox = []
+        sim.noc.register(("core", 0),
+                         lambda m: inbox.append((sim.engine.now, m)))
+
+        # Directory line with one sharer, evicted the way cache.insert
+        # evicts a victim (remove + callback).
+        line = l2.cache.insert(0, L2State.V, l2._on_evict)
+        line.value = "old"
+        line.sharers.add(("core", 1))
+        l2.cache.remove(0)
+        l2._on_evict(line)
+        assert l2._recalls[0] == 1  # recall INV in flight to core 1
+
+        # A store for the same block arrives before the recall ack
+        # returns: it must be retried, not refetched.
+        l2.on_message(Message(kind=MsgKind.GETX, addr=0, src=("core", 0),
+                              dst=("l2", 0), value="new",
+                              meta={"record": None, "warp": None}))
+        assert l2.cache.lookup(0) is None
+        assert l2.mshr.get(0) is None
+
+        # Core 1's L1 acks the recall over the NoC; the retried store
+        # then refetches and applies with no stale copy anywhere.
+        sim.engine.run()
+        assert l2._recalls == {}
+        assert l2.cache.lookup(0).value == "new"
+        acks = [m for _, m in inbox if m.kind is MsgKind.ACK]
+        assert len(acks) == 1
+        assert sim.sanitizer.events_seen > 0  # and it stayed quiet

@@ -1,0 +1,138 @@
+"""MSHR bookkeeping: peak occupancy, lastrd/lastwr merging under
+concurrent load+store traffic, and the §III-D early-ack path."""
+
+import pytest
+
+from repro.common.messages import Message
+from repro.common.types import L2State, MsgKind
+from repro.errors import SimulationError
+from repro.gpu.trace import load_op, store_op
+from repro.mem.mshr import MSHRFile
+from repro.sim.gpusim import GPUSimulator
+from tests.conftest import empty_traces, program_traces
+
+
+class TestMSHRFile:
+    def test_peak_occupancy_tracks_high_water_mark(self):
+        f = MSHRFile(capacity=4)
+        f.allocate(0)
+        f.allocate(128)
+        f.allocate(256)
+        f.release(0)
+        f.release(128)
+        f.allocate(384)
+        assert len(f) == 2
+        assert f.peak_occupancy == 3
+
+    def test_allocate_merges_same_block(self):
+        f = MSHRFile(capacity=1)
+        a = f.allocate(0)
+        b = f.allocate(0)
+        assert a is b
+        assert f.peak_occupancy == 1
+
+    def test_allocate_full_raises(self):
+        f = MSHRFile(capacity=1)
+        f.allocate(0)
+        with pytest.raises(SimulationError):
+            f.allocate(128)
+
+    def test_release_absent_raises(self):
+        with pytest.raises(SimulationError):
+            MSHRFile(capacity=1).release(0)
+
+    def test_release_non_empty_raises(self):
+        f = MSHRFile(capacity=1)
+        entry = f.allocate(0)
+        entry.pending_stores.append("x")
+        with pytest.raises(SimulationError):
+            f.release(0)
+        assert not f.release_if_empty(0)
+        entry.pending_stores.clear()
+        assert f.release_if_empty(0)
+        assert 0 not in f
+
+    def test_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            MSHRFile(capacity=0)
+
+
+class TestRCCL2Merging:
+    """Drive the RCC L2 bank directly: writes and reads that miss merge
+    into one MSHR entry, writes are acked early against lastwr/mnow
+    (paper §III-D), and the DRAM fill covers every merged requester."""
+
+    def _sim(self, cfg):
+        sim = GPUSimulator(cfg, "RCC", empty_traces(cfg), sanitize=True)
+        l2 = sim.proto.l2s[0]
+        inbox = []
+        # Swallow L2 responses at the L1 so white-box messages (with no
+        # real MemOpRecord attached) never reach _complete_store.
+        sim.noc.register(("core", 0),
+                         lambda m: inbox.append((sim.engine.now, m)))
+        return sim, l2, inbox
+
+    @staticmethod
+    def _msg(kind, now, value=None, src=("core", 0)):
+        return Message(kind=kind, addr=0, src=src, dst=("l2", 0), now=now,
+                       value=value, meta={"record": None, "warp": None})
+
+    def test_lastwr_lastrd_merge_and_early_ack(self, small_cfg):
+        sim, l2, inbox = self._sim(small_cfg)
+        fill_time = {}
+        orig = l2._on_dram_data
+        l2._on_dram_data = lambda b: (fill_time.setdefault(b, sim.engine.now),
+                                      orig(b))
+        l2.on_message(self._msg(MsgKind.WRITE, now=5, value="t1"))
+        entry = l2.mshr.get(0)
+        assert entry is not None and entry.has_write
+        assert entry.lastwr == 5
+
+        l2.on_message(self._msg(MsgKind.WRITE, now=9, value="t2"))
+        l2.on_message(self._msg(MsgKind.GETS, now=7))
+        assert entry.lastwr == 9       # merged: max of the writers' nows
+        assert entry.lastrd == 7
+        assert entry.has_read
+        assert entry.store_value == "t2"
+        assert len(l2.mshr) == 1       # one entry absorbed all three
+        assert l2.stats.misses == 1
+
+        line = l2.cache.lookup(0)
+        sim.engine.run()
+
+        # §III-D early ack: both write ACKs left before the DRAM data came
+        # back, carrying ver = max(lastwr, mnow).
+        acks = [(t, m) for t, m in inbox if m.kind is MsgKind.ACK]
+        assert len(acks) == 2
+        assert all(t < fill_time[0] for t, m in acks)
+        assert [m.ver for _, m in acks] == [5, 9]
+
+        # The fill then versions the block past every merged writer and
+        # leases it past every merged reader.
+        assert line.state is L2State.V
+        assert line.ver == 9
+        assert line.value == "t2"
+        assert line.exp >= 9 and line.exp >= 7
+        data = [m for _, m in inbox if m.kind is MsgKind.DATA]
+        assert len(data) == 1 and data[0].value == "t2"
+        assert len(l2.mshr) == 0       # entry released once drained
+        assert l2.mshr.peak_occupancy == 1
+        assert sim.sanitizer.events_seen > 0  # and it stayed quiet
+
+    def test_concurrent_load_store_end_to_end(self, tiny_cfg):
+        a = 0
+        prog = {
+            (0, 0): [store_op(a), store_op(a)],
+            (0, 1): [load_op(a), load_op(a)],
+            (1, 0): [load_op(a), store_op(a)],
+        }
+        sim = GPUSimulator(tiny_cfg, "RCC", program_traces(tiny_cfg, prog),
+                           "mshr-e2e", sanitize=True)
+        res = sim.run()  # sanitizer quiet on the happy path
+        assert res.cycles > 0
+        # Counters are exact — one count per op, no replay double-counting.
+        assert sum(l1.stats.loads for l1 in sim.proto.l1s) == 3
+        assert sum(l1.stats.stores for l1 in sim.proto.l1s) == 3
+        assert max(l2.mshr.peak_occupancy for l2 in sim.proto.l2s) >= 1
+        assert all(len(l1.mshr) == 0 for l1 in sim.proto.l1s)
+        assert all(len(l2.mshr) == 0 for l2 in sim.proto.l2s)

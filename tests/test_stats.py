@@ -68,6 +68,31 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram().percentile(0)
 
+    def test_single_sample_percentiles_exact(self):
+        # One sample occupies one bucket; interpolating over the bucket's
+        # nominal [lo, hi) used to report values the histogram never saw.
+        h = Histogram()
+        h.add(5)
+        for p in (1, 50, 90, 99, 100):
+            assert h.percentile(p) == 5.0
+
+    def test_percentile_clamped_to_observed_range(self):
+        h = Histogram()
+        h.add(9, count=2)  # bucket [8, 15], samples only at 9
+        assert h.percentile(50) == 9.0
+        assert h.percentile(99) == 9.0
+
+    def test_merge_wider_histogram_folds_overflow(self):
+        a = Histogram(max_value=1 << 4)
+        b = Histogram(max_value=1 << 10)
+        b.add(1000, count=3)
+        a.merge(b)
+        # The wider histogram's overflow buckets fold into a's saturation
+        # bucket instead of silently vanishing.
+        assert a.count == 3
+        assert sum(a._buckets) == 3
+        assert a.percentile(99) > 0
+
 
 class TestTimeSeries:
     def test_samples_until_inactive(self):
@@ -134,3 +159,35 @@ class TestCompare:
         rows = speedup_table(results)
         assert len(rows) == 4
         assert all(len(r) == 3 for r in rows)
+
+    @staticmethod
+    def _stub(protocol, workload, cycles, energy_total, flits):
+        from types import SimpleNamespace
+        return SimpleNamespace(protocol=protocol, workload=workload,
+                               cycles=cycles,
+                               energy=SimpleNamespace(total=energy_total),
+                               total_flits=flits)
+
+    def test_degenerate_runs_do_not_crash(self):
+        # A zero-cycle run (empty trace) or zero energy total (energy
+        # model off) must not raise ZeroDivisionError or poison the
+        # geometric mean with zeros.
+        results = [
+            self._stub("MESI", "w", cycles=0, energy_total=0.0, flits=0),
+            self._stub("RCC", "w", cycles=0, energy_total=0.0, flits=0),
+        ]
+        table = compare_runs(results, baseline_protocol="MESI")
+        assert table["MESI"]["speedup"] == pytest.approx(1.0)
+        assert table["RCC"]["energy"] == pytest.approx(1.0)
+        rows = speedup_table(results, baseline_protocol="MESI")
+        assert len(rows) == 2  # and formatting a 0-cycle run didn't crash
+
+    def test_zero_cycle_run_against_real_baseline(self):
+        results = [
+            self._stub("MESI", "w", cycles=100, energy_total=4.0, flits=10),
+            self._stub("RCC", "w", cycles=0, energy_total=2.0, flits=5),
+        ]
+        table = compare_runs(results, baseline_protocol="MESI")
+        assert table["MESI"]["speedup"] == pytest.approx(1.0)
+        assert table["RCC"]["speedup"] == pytest.approx(100.0)
+        assert table["RCC"]["energy"] == pytest.approx(0.5)
