@@ -6,7 +6,7 @@ PYPATH   := PYTHONPATH=src
 JOBS     ?= 4
 
 .PHONY: test test-fast test-exec fuzz fuzz-smoke sanitize bench report \
-        report-par clean-cache
+        report-par clean-cache perf perf-baseline
 
 test:            ## tier-1: the full test suite
 	$(PYPATH) $(PY) -m pytest -x -q
@@ -31,6 +31,14 @@ fuzz:            ## a long differential campaign across all protocols
 
 bench:           ## paper figures/tables under pytest-benchmark
 	$(PYPATH) $(PY) -m pytest benchmarks/ --benchmark-only
+
+perf:            ## throughput bench + regression gate vs stored baseline
+	$(PYPATH) $(PY) -m repro.perf.cli --quick \
+	    --baseline benchmarks/perf_baseline.json --check
+
+perf-baseline:   ## refresh the stored perf baseline from this machine
+	$(PYPATH) $(PY) -m repro.perf.cli --quick \
+	    --baseline benchmarks/perf_baseline.json --update-baseline
 
 report:          ## regenerate every experiment with paper-vs-measured
 	$(PYPATH) $(PY) -m repro.harness.runner all

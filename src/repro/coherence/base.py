@@ -104,6 +104,18 @@ class L1ControllerBase:
     def access(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
         raise NotImplementedError
 
+    def would_stall(self, kind: MemOpKind, addr: int) -> bool:
+        """Side-effect-free probe of ``access``'s STALL exits.
+
+        The core consults this before building the (surprisingly expensive)
+        :class:`MemOpRecord` for an attempt that would only bounce off a
+        full MSHR. Contract: True must imply that ``access`` would return
+        STALL right now; False may be wrong (the core still handles a STALL
+        from ``access`` itself), so overrides can be conservative — but
+        never optimistic.
+        """
+        return False
+
     def on_message(self, msg: Message) -> None:
         raise NotImplementedError
 
@@ -120,7 +132,8 @@ class L1ControllerBase:
     # Helpers
     # ------------------------------------------------------------------
     def block_of(self, addr: int) -> int:
-        return self.amap.block_of(addr)
+        shift = self.amap._block_shift
+        return (addr >> shift) << shift
 
     def l2_endpoint(self, addr: int) -> Tuple[str, int]:
         return ("l2", self.amap.bank_of(addr))
@@ -136,12 +149,19 @@ class L1ControllerBase:
         return msg
 
     def complete(self, record: MemOpRecord, warp: Warp, delay: int = 0) -> None:
-        """Hand a finished memory op back to the core after ``delay``."""
+        """Hand a finished memory op back to the core after ``delay``.
+
+        Zero-additional-latency completions (same-cycle L1 hits) take the
+        inline path and never touch the event queue; delayed ones use the
+        engine's pooled no-handle fast path (completions are never
+        cancelled)."""
         if delay <= 0:
             self.core.mem_op_done(record, warp)
         else:
-            self.engine.schedule_in(
-                delay, lambda: self.core.mem_op_done(record, warp))
+            engine = self.engine
+            engine.schedule_call(
+                engine.now + delay,
+                lambda: self.core.mem_op_done(record, warp))
 
     def count_access(self, record: MemOpRecord) -> None:
         if record.kind is MemOpKind.LOAD:
@@ -208,7 +228,8 @@ class L2ControllerBase:
         if delay <= 0:
             self.noc.send(msg)
         else:
-            self.engine.schedule_in(delay, lambda: self.noc.send(msg))
+            self.engine.schedule_call(self.engine.now + delay,
+                                      lambda: self.noc.send(msg))
         return msg
 
     def read_backing(self, addr: int) -> Any:

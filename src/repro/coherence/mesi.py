@@ -21,6 +21,7 @@ directory content lives in ``line.sharers`` at the L2.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import List, Optional
 
 from repro.common.messages import Message
@@ -29,6 +30,7 @@ from repro.coherence.base import L1ControllerBase, L2ControllerBase
 from repro.gpu.warp import MemOpRecord, Warp
 from repro.mem.cache_array import CacheLine
 from repro.sanitize.events import EventKind as EV
+from repro.timing.engine import _MASK as _RING_MASK
 
 RETRY_DELAY = 8
 
@@ -47,9 +49,27 @@ class MESIL1Controller(L1ControllerBase):
             return self._load(record, warp)
         return self._store_or_atomic(record, warp)
 
+    def would_stall(self, kind: MemOpKind, addr: int) -> bool:
+        # Mirrors the STALL exits of _load/_store_or_atomic below — keep in
+        # sync (True must imply access() would STALL; see the base class).
+        shift = self.amap._block_shift
+        block = (addr >> shift) << shift
+        mshr = self.mshr
+        entry = mshr._entries.get(block)
+        if kind is MemOpKind.LOAD:
+            line = self.cache._map.get(block)
+            if line is not None and line.state is L1State.V:
+                return False
+            if entry is None and len(mshr._entries) >= mshr.capacity:
+                return True
+            return line is None and not self.cache.can_allocate(block)
+        if entry is not None and entry.pending_stores:
+            return True
+        return entry is None and len(mshr._entries) >= mshr.capacity
+
     def _load(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
         block = self.block_of(record.addr)
-        line = self.cache.lookup(block)
+        line = self.cache._map.get(block)
         if line is not None and line.state is L1State.V:
             self.stats.loads += 1
             self.stats.load_hits += 1
@@ -61,8 +81,9 @@ class MESIL1Controller(L1ControllerBase):
             line.touch()
             self.complete(record, warp, delay=self.cfg.l1.hit_latency)
             return AccessOutcome.HIT
-        entry = self.mshr.get(block)
-        if entry is None and not self.mshr.has_free():
+        entries = self.mshr._entries
+        entry = entries.get(block)
+        if entry is None and len(entries) >= self.mshr.capacity:
             return AccessOutcome.STALL
         if line is None and not self.cache.can_allocate(block):
             return AccessOutcome.STALL
@@ -85,11 +106,12 @@ class MESIL1Controller(L1ControllerBase):
 
     def _store_or_atomic(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
         block = self.block_of(record.addr)
-        entry = self.mshr.get(block)
+        entries = self.mshr._entries
+        entry = entries.get(block)
         if entry is not None and entry.pending_stores:
             # Same-block stores serialize until the previous ack returns.
             return AccessOutcome.STALL
-        if entry is None and not self.mshr.has_free():
+        if entry is None and len(entries) >= self.mshr.capacity:
             return AccessOutcome.STALL
         self.count_access(record)
         if self.sanitizer is not None:
@@ -97,7 +119,7 @@ class MESIL1Controller(L1ControllerBase):
                        atomic=record.kind is MemOpKind.ATOMIC)
         entry = self.mshr.allocate(block)
         entry.pending_stores.append((record, warp))
-        line = self.cache.lookup(block)
+        line = self.cache._map.get(block)
         if line is not None and line.state is L1State.V:
             self.cache.remove(block)  # write-through, write-no-allocate
             self.stats.self_invalidations += 1
@@ -135,7 +157,7 @@ class MESIL1Controller(L1ControllerBase):
         if msg.meta.get("atomic"):
             self._complete_store(msg, read_value=msg.value)
             return
-        line = self.cache.lookup(block)
+        line = self.cache._map.get(block)
         inv_after = entry is not None and entry.meta.pop("inv_after_fill", False)
         # Peekaboo race: loads that merged into the MSHR *after* an INV
         # arrived must not consume this (now stale) fill — their warp may
@@ -199,7 +221,7 @@ class MESIL1Controller(L1ControllerBase):
     def _on_inv(self, msg: Message) -> None:
         block = msg.addr
         self.stats.invalidations_received += 1
-        line = self.cache.lookup(block)
+        line = self.cache._map.get(block)
         entry = self.mshr.get(block)
         dropped = line is not None and line.state is L1State.V
         if self.sanitizer is not None:
@@ -222,7 +244,7 @@ class MESIL1Controller(L1ControllerBase):
         entry = self.mshr.get(block)
         if entry is not None and entry.empty:
             self.mshr.release(block)
-            line = self.cache.lookup(block)
+            line = self.cache._map.get(block)
             if line is not None:
                 line.pinned = False
                 if line.state is L1State.IV:
@@ -256,7 +278,71 @@ class MESIL2Controller(L2ControllerBase):
             raise self.unhandled("-", msg.kind, f"addr=0x{msg.addr:x}")
 
     def _retry(self, msg: Message) -> None:
-        self.engine.schedule_in(RETRY_DELAY, lambda: self.on_message(msg))
+        # Built once per message and cached in its meta. While the blocking
+        # condition still holds the poll re-arms itself with pure reads only;
+        # the guard is exactly the set of conditions under which re-entering
+        # the handler would call ``_retry`` again without side effects (stats
+        # are ``_counted``-guarded, and the handler's ``can_allocate`` fail is
+        # conservatively left to the full path). Anything else re-enters the
+        # kind-specific handler, identical to re-entering ``on_message``
+        # (pure dispatch; INV_ACKs are never retried). Never cancelled ->
+        # the engine's no-handle path, which preserves (cycle, seq) order.
+        meta = msg.meta
+        cb = meta.get("_retry_cb")
+        if cb is None:
+            block = msg.addr
+            cache_map = self.cache._map
+            entries = self.mshr._entries
+            capacity = self.mshr.capacity
+            recalls = self._recalls
+            engine = self.engine
+            valid = L2State.V
+
+            def blocked() -> bool:
+                line = cache_map.get(block)
+                if line is not None:
+                    return (line.state is valid
+                            and line.meta.get("inv_pending") is not None)
+                if recalls.get(block):
+                    return True
+                return len(entries) >= capacity and block not in entries
+
+            ring = getattr(engine, "_ring", None)  # None under the legacy engine
+            if msg.kind is MsgKind.GETS:
+                def cb() -> None:
+                    if blocked():
+                        # schedule_call's in-window bare-callback path,
+                        # inlined (see the TC retry for the rationale).
+                        cyc = engine.now + RETRY_DELAY
+                        if ring is not None and cyc < engine._horizon:
+                            engine._live += 1
+                            b = ring[cyc & _RING_MASK]
+                            if not b:
+                                heappush(engine._ring_cycles, cyc)
+                            b.append(cb)
+                        else:
+                            engine.schedule_call(cyc, cb)
+                    else:
+                        self._on_gets(msg)
+            else:
+                atomic = msg.kind is MsgKind.ATOMIC
+
+                def cb() -> None:
+                    if blocked():
+                        cyc = engine.now + RETRY_DELAY
+                        if ring is not None and cyc < engine._horizon:
+                            engine._live += 1
+                            b = ring[cyc & _RING_MASK]
+                            if not b:
+                                heappush(engine._ring_cycles, cyc)
+                            b.append(cb)
+                        else:
+                            engine.schedule_call(cyc, cb)
+                    else:
+                        self._on_getx(msg, atomic)
+            meta["_retry_cb"] = cb
+        engine = self.engine
+        engine.schedule_call(engine.now + RETRY_DELAY, cb)
 
     @staticmethod
     def _busy(line: CacheLine) -> bool:
@@ -268,7 +354,7 @@ class MESIL2Controller(L2ControllerBase):
             msg.meta["_counted"] = True
             self.stats.gets += 1
         block = msg.addr
-        line = self.cache.lookup(block)
+        line = self.cache._map.get(block)
         if line is not None and line.state is L2State.V:
             if self._busy(line):
                 self._retry(msg)
@@ -298,7 +384,7 @@ class MESIL2Controller(L2ControllerBase):
             else:
                 self.stats.writes += 1
         block = msg.addr
-        line = self.cache.lookup(block)
+        line = self.cache._map.get(block)
         if line is not None and line.state is L2State.V:
             if self._busy(line):
                 self._retry(msg)
@@ -339,7 +425,7 @@ class MESIL2Controller(L2ControllerBase):
             else:
                 self._recalls.pop(msg.addr, None)
             return
-        line = self.cache.lookup(msg.addr)
+        line = self.cache._map.get(msg.addr)
         if line is None:
             return  # stale ack for an already-evicted block
         pending = line.meta.get("inv_pending")
@@ -398,7 +484,7 @@ class MESIL2Controller(L2ControllerBase):
         self.fetch_from_dram(block, self._on_dram_data)
 
     def _on_dram_data(self, block: int) -> None:
-        line = self.cache.lookup(block)
+        line = self.cache._map.get(block)
         entry = self.mshr.get(block)
         if line is None or entry is None:
             raise self.unhandled("I", "MEMDATA", f"orphan fill 0x{block:x}")

@@ -22,7 +22,7 @@ _msg_ids = itertools.count()
 CONTROL_FLITS = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single coherence message travelling between an L1, an L2 bank,
     or a memory partition.

@@ -23,14 +23,21 @@ class MemOpKind(enum.Enum):
     COMPUTE = "COMPUTE"
     BARRIER = "BARRIER"
 
+    # Stat dicts keyed by op kind sit in the simulator's hottest loops; the
+    # default Enum.__hash__ is a Python-level call (it hashes the member
+    # name). Identity hashing is equivalent for singleton members and runs
+    # entirely in C. Dict iteration order is insertion order either way, so
+    # results are unaffected.
+    __hash__ = object.__hash__
+
     @property
     def is_global_mem(self) -> bool:
         """True for operations that access the global memory system."""
-        return self in (MemOpKind.LOAD, MemOpKind.STORE, MemOpKind.ATOMIC)
+        return self in _GLOBAL_MEM_KINDS
 
     @property
     def is_write(self) -> bool:
-        return self in (MemOpKind.STORE, MemOpKind.ATOMIC)
+        return self in _WRITE_KINDS
 
 
 class MsgKind(enum.Enum):
@@ -58,17 +65,12 @@ class MsgKind(enum.Enum):
     FLUSH = "FLUSH"          # rollover: L2 -> L1 flush request
     FLUSH_ACK = "FLUSH_ACK"
 
+    __hash__ = object.__hash__  # see MemOpKind.__hash__
+
     @property
     def carries_data(self) -> bool:
         """Messages that carry a full cache block (data flits)."""
-        return self in (
-            MsgKind.WRITE,
-            MsgKind.ATOMIC,
-            MsgKind.DATA,
-            MsgKind.WBACK,
-            MsgKind.MEMDATA,
-            MsgKind.GETX,
-        )
+        return self in _DATA_KINDS
 
 
 class L1State(enum.Enum):
@@ -86,9 +88,11 @@ class L1State(enum.Enum):
     II = "II"
     VI = "VI"
 
+    __hash__ = object.__hash__  # see MemOpKind.__hash__
+
     @property
     def stable(self) -> bool:
-        return self in (L1State.I, L1State.V)
+        return self in _STABLE_L1
 
 
 class L2State(enum.Enum):
@@ -104,9 +108,11 @@ class L2State(enum.Enum):
     IV = "IV"
     IAV = "IAV"
 
+    __hash__ = object.__hash__  # see MemOpKind.__hash__
+
     @property
     def stable(self) -> bool:
-        return self in (L2State.I, L2State.V)
+        return self in _STABLE_L2
 
 
 class AccessOutcome(enum.Enum):
@@ -122,3 +128,17 @@ class Direction(enum.Enum):
 
     CORE_TO_L2 = "c2m"
     L2_TO_CORE = "m2c"
+
+    __hash__ = object.__hash__  # see MemOpKind.__hash__
+
+
+# Membership sets for the hot-path properties above (frozenset lookup beats
+# rebuilding a tuple and linearly comparing on every call).
+_GLOBAL_MEM_KINDS = frozenset(
+    (MemOpKind.LOAD, MemOpKind.STORE, MemOpKind.ATOMIC))
+_WRITE_KINDS = frozenset((MemOpKind.STORE, MemOpKind.ATOMIC))
+_DATA_KINDS = frozenset((
+    MsgKind.WRITE, MsgKind.ATOMIC, MsgKind.DATA, MsgKind.WBACK,
+    MsgKind.MEMDATA, MsgKind.GETX))
+_STABLE_L1 = frozenset((L1State.I, L1State.V))
+_STABLE_L2 = frozenset((L2State.I, L2State.V))

@@ -92,9 +92,28 @@ class RCCL1Controller(L1ControllerBase):
             return self._load(record, warp)
         return self._store_or_atomic(record, warp)
 
+    def would_stall(self, kind: MemOpKind, addr: int) -> bool:
+        # Mirrors the STALL exits of _load/_store_or_atomic below — keep in
+        # sync (True must imply access() would STALL; see the base class).
+        # _read_now() is a pure read in both RCC and RCC-WO, so probing a
+        # load's hit predicate here advances nothing.
+        shift = self.amap._block_shift
+        block = (addr >> shift) << shift
+        mshr = self.mshr
+        entry = mshr._entries.get(block)
+        if kind is MemOpKind.LOAD:
+            line = self.cache._map.get(block)
+            if (line is not None and line.state is L1State.V
+                    and lease_valid(self._read_now(), line.exp)):
+                return False
+            if entry is None and len(mshr._entries) >= mshr.capacity:
+                return True
+            return line is None and not self.cache.can_allocate(block)
+        return entry is None and len(mshr._entries) >= mshr.capacity
+
     def _load(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
         block = self.block_of(record.addr)
-        line = self.cache.lookup(block)
+        line = self.cache._map.get(block)
         rnow = self._read_now()
 
         if (line is not None and line.state is L1State.V
@@ -115,8 +134,9 @@ class RCCL1Controller(L1ControllerBase):
         expired = (line is not None and line.state is L1State.V
                    and lease_expired(rnow, line.exp))
 
-        entry = self.mshr.get(block)
-        if entry is None and not self.mshr.has_free():
+        entries = self.mshr._entries
+        entry = entries.get(block)
+        if entry is None and len(entries) >= self.mshr.capacity:
             return AccessOutcome.STALL
         if line is None and not self.cache.can_allocate(block):
             return AccessOutcome.STALL  # all ways pinned by transients
@@ -154,12 +174,13 @@ class RCCL1Controller(L1ControllerBase):
 
     def _store_or_atomic(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
         block = self.block_of(record.addr)
-        entry = self.mshr.get(block)
-        if entry is None and not self.mshr.has_free():
+        entries = self.mshr._entries
+        entry = entries.get(block)
+        if entry is None and len(entries) >= self.mshr.capacity:
             return AccessOutcome.STALL
         self.count_access(record)  # after the stall exit, so replays count once
         if self.sanitizer is not None:
-            vline = self.cache.lookup(block)
+            vline = self.cache._map.get(block)
             self._emit(EV.L1_STORE_ISSUE, block, now=self._write_now(),
                        view="write", epoch=self.rollover.epoch,
                        atomic=record.kind is MemOpKind.ATOMIC,
@@ -167,7 +188,7 @@ class RCCL1Controller(L1ControllerBase):
                                  and vline.state is L1State.V else None))
         entry = self.mshr.allocate(block)
         entry.pending_stores.append((record, warp))
-        line = self.cache.lookup(block)
+        line = self.cache._map.get(block)
         if line is not None:
             line.pinned = True  # VI/II transients are not evictable
         kind = (MsgKind.ATOMIC if record.kind is MemOpKind.ATOMIC
@@ -216,7 +237,7 @@ class RCCL1Controller(L1ControllerBase):
             self._complete_store(msg, ver)
             return
 
-        line = self.cache.lookup(block)
+        line = self.cache._map.get(block)
         if line is not None:
             line.state = L1State.V
             line.exp = exp
@@ -252,7 +273,7 @@ class RCCL1Controller(L1ControllerBase):
             # Refetch for the uncovered loads. The line keeps its (valid)
             # data so sibling warps still within the lease can hit, and so
             # the L2 may answer with a data-less RENEW.
-            line = self.cache.lookup(block)
+            line = self.cache._map.get(block)
             renewable = line is not None and line.value is not None
             entry.meta["gets_out"] = True
             self.send_to_l2(
@@ -271,7 +292,7 @@ class RCCL1Controller(L1ControllerBase):
         if self.sanitizer is not None:
             self._emit(EV.L1_RENEW, block, exp=exp,
                        epoch=self.rollover.epoch)
-        line = self.cache.lookup(block)
+        line = self.cache._map.get(block)
         if line is None or line.value is None:
             # A RENEW raced a rollover flush and the stale copy is gone:
             # fall back to refetching the whole block.
@@ -308,7 +329,7 @@ class RCCL1Controller(L1ControllerBase):
         if record.kind is MemOpKind.ATOMIC:
             record.read_value = msg.value  # the value the RMW observed
         self.complete(record, warp)
-        line = self.cache.lookup(block)
+        line = self.cache._map.get(block)
         if self.sanitizer is not None:
             copy_exp = (line.exp if line is not None
                         and line.state is L1State.V else None)
@@ -333,7 +354,7 @@ class RCCL1Controller(L1ControllerBase):
         entry = self.mshr.get(block)
         if entry is not None and entry.empty:
             self.mshr.release(block)
-            line = self.cache.lookup(block)
+            line = self.cache._map.get(block)
             if line is not None:
                 line.pinned = False
                 if line.state is L1State.IV:

@@ -29,6 +29,7 @@ Responsibilities beyond the FSM proper:
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Dict, List, Optional
 
 from repro.common.messages import Message
@@ -37,6 +38,7 @@ from repro.coherence.base import L2ControllerBase
 from repro.core.lease import LeasePredictor, post_lease
 from repro.mem.cache_array import CacheLine
 from repro.sanitize.events import EventKind as EV
+from repro.timing.engine import _MASK as _RING_MASK
 
 #: Delay before re-presenting a request that hit a stalling state (IAV, or a
 #: set with every way pinned). Models the request sitting in the bank's
@@ -56,6 +58,7 @@ class RCCL2Controller(L2ControllerBase):
         self.rollover = rollover
         self.predictor = LeasePredictor(cfg.ts)
         self.renew_enabled = cfg.ts.renew_enabled
+        self._lease_max2 = cfg.ts.lease_max + 2
         self.frozen = False
         self._frozen_queue: List[Message] = []
 
@@ -85,14 +88,87 @@ class RCCL2Controller(L2ControllerBase):
 
     def _projected_ts(self, msg: Message) -> int:
         """Upper bound on any timestamp this transaction could produce."""
-        line = self.cache.lookup(msg.addr)
-        candidates = [self.dram.mnow, msg.now or 0]
+        m = self.dram.mnow
+        n = msg.now or 0
+        if n > m:
+            m = n
+        line = self.cache._map.get(msg.addr)
         if line is not None:
-            candidates.extend((line.exp, line.ver))
-        return max(candidates) + self.cfg.ts.lease_max + 2
+            if line.exp > m:
+                m = line.exp
+            if line.ver > m:
+                m = line.ver
+        return m + self._lease_max2
 
     def _retry(self, msg: Message) -> None:
-        self.engine.schedule_in(RETRY_DELAY, lambda: self.on_message(msg))
+        # The retry re-enters ``on_message`` in full whenever rollover could
+        # be in play: the frozen/trigger checks and epoch clamping must be
+        # re-evaluated at fire time. Away from the guard band that entry
+        # sequence is side-effect-free (``maybe_trigger``'s no-trigger path
+        # is a pure read, and the clamped timestamps cannot affect whether
+        # the request blocks), so the poll re-checks the blocking condition
+        # with pure reads — the in-line projected-timestamp computation is
+        # ``_projected_ts`` verbatim — and re-arms itself while it holds,
+        # conservatively falling back to the full path for the
+        # ``can_allocate`` fail case. Built once per message; never
+        # cancelled -> the engine's no-handle path, which preserves
+        # (cycle, seq) firing order exactly.
+        meta = msg.meta
+        cb = meta.get("_retry_cb")
+        if cb is None:
+            block = msg.addr
+            cache_map = self.cache._map
+            entries = self.mshr._entries
+            capacity = self.mshr.capacity
+            engine = self.engine
+            rollover = self.rollover
+            dram = self.dram
+            threshold = rollover.threshold
+            lease_max2 = self._lease_max2
+            n = msg.now or 0
+            atomic = msg.kind is MsgKind.ATOMIC
+            valid = L2State.V
+            iav = L2State.IAV
+
+            ring = getattr(engine, "_ring", None)  # None under the legacy engine
+
+            def cb() -> None:
+                if not self.frozen and not rollover.in_progress:
+                    line = cache_map.get(block)
+                    m = dram.mnow
+                    if n > m:
+                        m = n
+                    if line is not None:
+                        if line.exp > m:
+                            m = line.exp
+                        if line.ver > m:
+                            m = line.ver
+                    if m + lease_max2 < threshold:
+                        if line is not None:
+                            blocked = (line.state is not valid if atomic
+                                       else line.state is iav)
+                        elif atomic:
+                            blocked = len(entries) >= capacity
+                        else:
+                            blocked = (len(entries) >= capacity
+                                       and block not in entries)
+                        if blocked:
+                            # schedule_call's in-window bare-callback path,
+                            # inlined (see the TC retry for the rationale).
+                            cyc = engine.now + RETRY_DELAY
+                            if ring is not None and cyc < engine._horizon:
+                                engine._live += 1
+                                b = ring[cyc & _RING_MASK]
+                                if not b:
+                                    heappush(engine._ring_cycles, cyc)
+                                b.append(cb)
+                            else:
+                                engine.schedule_call(cyc, cb)
+                            return
+                self.on_message(msg)
+            meta["_retry_cb"] = cb
+        engine = self.engine
+        engine.schedule_call(engine.now + RETRY_DELAY, cb)
 
     # ------------------------------------------------------------------
     # GETS
@@ -104,7 +180,7 @@ class RCCL2Controller(L2ControllerBase):
             if msg.meta.get("expired"):
                 self.stats.gets_expired += 1
         block = msg.addr
-        line = self.cache.lookup(block)
+        line = self.cache._map.get(block)
 
         if line is not None and line.state is L2State.V:
             self.stats.hits += 1
@@ -166,7 +242,7 @@ class RCCL2Controller(L2ControllerBase):
             msg.meta["_counted"] = True
             self.stats.writes += 1
         block = msg.addr
-        line = self.cache.lookup(block)
+        line = self.cache._map.get(block)
 
         if line is not None and line.state is L2State.V:
             self.stats.hits += 1
@@ -239,7 +315,7 @@ class RCCL2Controller(L2ControllerBase):
             msg.meta["_counted"] = True
             self.stats.atomics += 1
         block = msg.addr
-        line = self.cache.lookup(block)
+        line = self.cache._map.get(block)
 
         if line is not None and line.state is L2State.V:
             self.stats.hits += 1
@@ -285,10 +361,10 @@ class RCCL2Controller(L2ControllerBase):
     def _on_dram_data(self, block: int) -> None:
         if self.frozen:
             # Rollover in progress: complete the fill afterwards.
-            self.engine.schedule_in(RETRY_DELAY,
-                                    lambda: self._on_dram_data(block))
+            self.engine.schedule_call(self.engine.now + RETRY_DELAY,
+                                      lambda: self._on_dram_data(block))
             return
-        line = self.cache.lookup(block)
+        line = self.cache._map.get(block)
         entry = self.mshr.get(block)
         if line is None or entry is None:
             raise self.unhandled("I", "MEMDATA", f"orphan fill 0x{block:x}")

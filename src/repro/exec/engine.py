@@ -72,10 +72,23 @@ class SweepStats:
     jobs: int = 1
     #: Per computed cell wall time, in submission order.
     cell_times: List[float] = field(default_factory=list)
+    #: Per computed cell simulation throughput (engine events per second
+    #: of wall time), in submission order; only cells whose result exposes
+    #: ``events_fired`` (i.e. ``SimResult``) contribute.
+    cell_eps: List[float] = field(default_factory=list)
 
     @property
     def cells_per_second(self) -> float:
         return self.n_cells / self.wall if self.wall > 0 else 0.0
+
+    def record_cell(self, elapsed: float, value: Any) -> None:
+        """Account one computed cell: wall time, and events/sec when the
+        result carries an engine event count."""
+        self.n_computed += 1
+        self.cell_times.append(elapsed)
+        fired = getattr(value, "events_fired", None)
+        if fired and elapsed > 0:
+            self.cell_eps.append(fired / elapsed)
 
     def render(self) -> str:
         """One-line throughput summary printed after each sweep."""
@@ -91,6 +104,11 @@ class SweepStats:
             p50 = _percentile(self.cell_times, 50)
             p95 = _percentile(self.cell_times, 95)
             line += f"; per-cell p50 {p50 * 1000:.0f}ms p95 {p95 * 1000:.0f}ms"
+        if self.cell_eps:
+            p50 = _percentile(self.cell_eps, 50)
+            p95 = _percentile(self.cell_eps, 95)
+            line += (f"; events/s p50 {p50 / 1000:.0f}k"
+                     f" p95 {p95 / 1000:.0f}k")
         line += f"; mode={self.mode} jobs={self.jobs}]"
         return line
 
@@ -210,8 +228,7 @@ class SweepExecutor:
                                   f"{type(exc2).__name__}: {exc2}")
                     out.append(None)
                     continue
-            stats.n_computed += 1
-            stats.cell_times.append(elapsed)
+            stats.record_cell(elapsed, value)
             out.append(value)
         if errors:
             raise HarnessError(
@@ -237,8 +254,7 @@ class SweepExecutor:
                 except Exception as exc:
                     failed.append((i, exc))
                     continue
-                stats.n_computed += 1
-                stats.cell_times.append(elapsed)
+                stats.record_cell(elapsed, value)
                 out[i] = value
         finally:
             self._shutdown_pool(pool, force=wedged)
@@ -253,8 +269,7 @@ class SweepExecutor:
                     f"{labels[i]}: {type(first_exc).__name__}: {first_exc}"
                     f" (retry: {type(exc).__name__}: {exc})")
                 continue
-            stats.n_computed += 1
-            stats.cell_times.append(elapsed)
+            stats.record_cell(elapsed, value)
             out[i] = value
         if errors:
             raise HarnessError(

@@ -22,12 +22,18 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.common.types import AccessOutcome, MemOpKind
-from repro.consistency.model import ConsistencyPolicy
+from repro.consistency.model import ConsistencyPolicy, SCPolicy, WOPolicy
 from repro.errors import SimulationError
 from repro.gpu.trace import WarpTrace
+from repro.gpu import warp as _warp_mod
 from repro.gpu.warp import MemOpRecord, Warp
 from repro.stats.histogram import Histogram
 from repro.timing.engine import Engine
+
+#: ``busy_until`` park sentinel: far beyond any reachable cycle. Set when a
+#: warp finishes its trace or parks at a barrier, so the issue scan rejects
+#: it with a single compare instead of the full three-condition test.
+_NEVER = 1 << 62
 
 
 class CoreStats:
@@ -81,6 +87,12 @@ class GPUCore:
         self._rr_next = 0
         self._tick_scheduled = False
         self._finished = False
+        #: Exactly SCPolicy / exactly WOPolicy (not subclasses): their
+        #: issue gates are inlined into the scan; subclasses fall back to
+        #: the virtual call so overridden policies keep working.
+        self._sc_fast = type(policy) is SCPolicy
+        self._wo_fast = type(policy) is WOPolicy
+        self._wo_max = getattr(policy, "max_outstanding", 0)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -101,89 +113,171 @@ class GPUCore:
     # Tick / issue stage
     # ------------------------------------------------------------------
     def _schedule_tick(self, cycle: int) -> None:
+        # schedule_call registers the tick in the engine's cycle bucket —
+        # the shared per-cycle dispatch list for every core active in that
+        # cycle. Each core's registration keeps its own (cycle, seq) slot,
+        # so the firing order is identical to the historical one-event-per-
+        # core schedule() (see DESIGN.md Appendix D for why a merged
+        # single-callback dispatcher would NOT be: completions scheduled
+        # between two cores' registrations must fire between their ticks).
         if not self._tick_scheduled and not self._finished:
             self._tick_scheduled = True
-            self.engine.schedule(cycle, self._tick)
+            self.engine.schedule_call(cycle, self._tick)
 
     def wake(self) -> None:
         """Called by memory responses / compute completions / timers."""
         self._schedule_tick(self.engine.now)
 
     def _tick(self) -> None:
+        """The per-cycle issue stage.
+
+        This is the simulator's hottest function — it scans every warp
+        once per active cycle — so the per-warp rejection tests and the
+        SC-policy gate are inlined rather than delegated (the historical
+        ``_consider`` helper). The scan's observable behavior is pinned by
+        the differential battery: same issue choice, same round-robin
+        update, same stall bookkeeping, cycle for cycle.
+        """
         self._tick_scheduled = False
         if self._finished:
             return
         now = self.engine.now
         issued = False
         more_ready = False
-        n = len(self.warps)
+        warps = self.warps
+        n = len(warps)
+        # ``rr`` mirrors the historical live read of ``self._rr_next``
+        # inside the loop: once a warp issues, the scan base shifts, so the
+        # remaining iterations index from the *updated* round-robin pointer.
+        rr = self._rr_next
+        sc_fast = self._sc_fast
+        wo_fast = self._wo_fast
+        wo_max = self._wo_max
+        stats = self.stats
+        schedule_call = self.engine.schedule_call
+        compute_kind = MemOpKind.COMPUTE
+        barrier_kind = MemOpKind.BARRIER
+        fence_kind = MemOpKind.FENCE
         for i in range(n):
-            warp = self.warps[(self._rr_next + i) % n]
-            ready = self._consider(warp, now, can_issue=not issued)
-            if ready == "issued":
+            j = rr + i
+            if j >= n:
+                j -= n
+            warp = warps[j]
+            # ``busy_until`` doubles as the scan's single park gate: finished
+            # and barrier-parked warps hold the ``_NEVER`` sentinel, so the
+            # common rejection is one compare. The pc/barrier tests remain as
+            # the authoritative (and historically ordered) conditions; all
+            # three are pure reads, so evaluating busy first is unobservable.
+            if warp.busy_until > now:
+                continue
+            pc = warp.pc
+            if pc >= warp.n_ops or warp.at_barrier is not None:
+                continue
+            if (sc_fast and warp.stall_start is not None and warp.outstanding
+                    and not warp.fence_pending):
+                # Already-stamped SC stall: under the one-outstanding-op
+                # policy the gate below would fail again and do nothing, so
+                # skip the op fetch entirely. (Not valid for WO, whose gate
+                # can reopen while the stamp is still in place.)
+                continue
+            op = warp.ops[pc]
+            kind = op.kind
+
+            if kind is compute_kind:
+                if issued:
+                    more_ready = True
+                    continue
+                warp.pc = pc + 1
+                until = now + op.cycles
+                warp.busy_until = until
+                stats.issued_instructions += 1
+                schedule_call(until, self.wake)
+                if warp.pc >= warp.n_ops:
+                    warp.busy_until = _NEVER
                 issued = True
-                self._rr_next = (self._rr_next + i + 1) % n
-            elif ready == "ready":
+                self._rr_next = rr = j + 1 if j + 1 < n else 0
+                continue
+
+            if kind is barrier_kind:
+                if issued:
+                    more_ready = True
+                    continue
+                warp.pc = pc + 1
+                warp.at_barrier = op.barrier_id
+                warp.busy_until = _NEVER  # parked until the barrier releases
+                stats.issued_instructions += 1
+                self._maybe_release_barrier(op.barrier_id)
+                issued = True
+                self._rr_next = rr = j + 1 if j + 1 < n else 0
+                continue
+
+            if kind is fence_kind:
+                ready = self._consider_fence(warp, now, not issued)
+                if ready == "issued":
+                    issued = True
+                    self._rr_next = rr = j + 1 if j + 1 < n else 0
+                elif ready == "ready":
+                    more_ready = True
+                continue
+
+            # Global memory op: gate through the consistency policy. The
+            # gate runs (and stamps the stall interval) even when the issue
+            # slot is taken — stall attribution must start the cycle the
+            # warp first became blocked, not the cycle it got a slot.
+            if sc_fast:
+                outstanding = warp.outstanding
+                if outstanding:
+                    if warp.stall_start is None:
+                        warp.stall_start = now
+                        warp.stall_blocker = outstanding[0].kind
+                    continue
+            elif wo_fast:
+                outstanding = warp.outstanding
+                if warp.fence_pending or len(outstanding) >= wo_max:
+                    if warp.stall_start is None:
+                        warp.stall_start = now
+                        warp.stall_blocker = (outstanding[0].kind
+                                              if outstanding else None)
+                    continue
+            else:
+                ok, blocker = self.policy.can_issue_mem(warp)
+                if not ok:
+                    if warp.stall_start is None:
+                        warp.stall_start = now
+                        warp.stall_blocker = blocker.kind if blocker else None
+                    continue
+            if issued:
                 more_ready = True
+                continue
+            if self._issue_mem(warp, now, op) == "issued":
+                issued = True
+                self._rr_next = rr = j + 1 if j + 1 < n else 0
         self._check_done(now)
         if self._finished:
             return
         if issued or more_ready:
             self._schedule_tick(now + 1)
 
-    def _consider(self, warp: Warp, now: int, can_issue: bool) -> str:
-        """Examine one warp; returns 'issued', 'ready', or 'blocked'."""
-        if warp.done:
-            return "blocked"
-        if warp.busy_until > now or warp.at_barrier is not None:
-            return "blocked"
-        op = warp.next_op()
-        kind = op.kind
-
-        if kind is MemOpKind.COMPUTE:
-            if not can_issue:
-                return "ready"
-            warp.pc += 1
-            warp.busy_until = now + op.cycles
-            self.stats.issued_instructions += 1
-            self.engine.schedule(warp.busy_until, self.wake)
-            return "issued"
-
-        if kind is MemOpKind.BARRIER:
-            if not can_issue:
-                return "ready"
-            warp.pc += 1
-            warp.at_barrier = op.barrier_id
-            self.stats.issued_instructions += 1
-            self._maybe_release_barrier(op.barrier_id)
-            return "issued"
-
-        if kind is MemOpKind.FENCE:
-            return self._consider_fence(warp, now, can_issue)
-
-        # Global memory op: gate through the consistency policy.
-        ok, blocker = self.policy.can_issue_mem(warp)
-        if not ok:
-            if warp.stall_start is None:
-                warp.stall_start = now
-                warp.stall_blocker = blocker.kind if blocker else None
-            return "blocked"
-        if not can_issue:
-            return "ready"
-        return self._issue_mem(warp, now)
-
     def _consider_fence(self, warp: Warp, now: int, can_issue: bool) -> str:
         if not warp.fence_pending:
             warp.fence_pending = True
             warp.stall_start = now
             self.stats.fence_ops += 1
-        if not self.policy.fence_done(warp):
+        # Inline fence gates for the two exact policy types (SC: fences
+        # retire immediately; WO: once the warp's accesses drain).
+        if self._sc_fast:
+            done = True
+        elif self._wo_fast:
+            done = not warp.outstanding
+        else:
+            done = self.policy.fence_done(warp)
+        if not done:
             return "blocked"  # waiting for outstanding accesses to drain
         block_until = self.l1.fence_block_until(warp)
         if block_until > now:
             # Protocol-imposed visibility wait (TC-weak's GWCT).
             warp.busy_until = block_until
-            self.engine.schedule(block_until, self.wake)
+            self.engine.schedule_call(block_until, self.wake)
             return "blocked"
         if not can_issue:
             return "ready"
@@ -193,12 +287,21 @@ class GPUCore:
             warp.stall_start = None
         warp.fence_pending = False
         warp.pc += 1
+        if warp.pc >= warp.n_ops:
+            warp.busy_until = _NEVER
         self.stats.issued_instructions += 1
         self.l1.on_fence_retire(warp)
         return "issued"
 
-    def _issue_mem(self, warp: Warp, now: int) -> str:
-        op = warp.next_op()
+    def _issue_mem(self, warp: Warp, now: int, op) -> str:
+        if self.l1.would_stall(op.kind, op.addr):
+            # Structural stall (MSHR full, set conflict), detected without
+            # building the record. The op-id stream still advances one per
+            # attempt — write tokens embed ``record.seq``, so elided
+            # attempts must consume the id the constructor would have.
+            next(_warp_mod._op_seq)
+            self.stats.structural_stalls += 1
+            return "blocked"
         record = MemOpRecord(op.kind, op.addr, self.core_id, warp.warp_id,
                              warp.pc)
         record.issue_cycle = now
@@ -206,8 +309,8 @@ class GPUCore:
             record.value = (self.core_id, warp.warp_id, record.seq)
         outcome = self.l1.access(record, warp)
         if outcome is AccessOutcome.STALL:
-            # Structural stall (MSHR full, set conflict); retry, don't
-            # consume the issue slot or advance the pc.
+            # Structural stall the probe missed (conservative False); same
+            # handling — the record (and its seq) is simply discarded.
             self.stats.structural_stalls += 1
             return "blocked"
         # Issued: close out any SC-stall interval for this op.
@@ -223,6 +326,8 @@ class GPUCore:
             warp.stall_start = None
             warp.stall_blocker = None
         warp.pc += 1
+        if warp.pc >= warp.n_ops:
+            warp.busy_until = _NEVER
         warp.outstanding.append(record)
         self.stats.issued_instructions += 1
         self.stats.mem_ops += 1
@@ -234,16 +339,23 @@ class GPUCore:
     # ------------------------------------------------------------------
     def mem_op_done(self, record: MemOpRecord, warp: Warp) -> None:
         """Called by the L1 controller when a memory op completes."""
-        record.complete_cycle = self.engine.now
+        now = self.engine.now
+        record.complete_cycle = now
         try:
             warp.outstanding.remove(record)
         except ValueError:
             raise SimulationError(f"completion for op not outstanding: {record!r}")
-        self.stats.latency_sum[record.kind] += record.latency
-        self.stats.latency_hist[record.kind].add(record.latency)
+        kind = record.kind
+        latency = now - record.issue_cycle
+        stats = self.stats
+        stats.latency_sum[kind] += latency
+        stats.latency_hist[kind].add(latency)
         if self.record_log:
             self.op_log.append(record)
-        self.wake()
+        # wake(), inlined (hot: one call per completed memory op).
+        if not self._tick_scheduled and not self._finished:
+            self._tick_scheduled = True
+            self.engine.schedule_call(now, self._tick)
 
     # ------------------------------------------------------------------
     # Barrier unit (workgroup == core in this model)
@@ -256,13 +368,18 @@ class GPUCore:
                 return  # someone has not arrived yet
         for w in self.warps:
             w.at_barrier = None
+            # Un-park released warps; finished ones keep the done sentinel.
+            # (A warp at a barrier cannot be mid-compute, so its real
+            # busy_until was already <= now — 0 is equivalent to the scan.)
+            if w.pc < w.n_ops:
+                w.busy_until = 0
 
     # ------------------------------------------------------------------
     def _check_done(self, now: int) -> None:
         if self._finished:
             return
         for w in self.warps:
-            if not w.done or w.outstanding or w.fence_pending:
+            if w.pc < w.n_ops or w.outstanding or w.fence_pending:
                 return
         self._finished = True
         self.stats.done_cycle = now

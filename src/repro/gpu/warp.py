@@ -70,8 +70,8 @@ class MemOpRecord:
 class Warp:
     """Execution state of one warp: program counter plus blocking state."""
 
-    __slots__ = ("core_id", "warp_id", "trace", "pc", "outstanding",
-                 "busy_until", "at_barrier", "fence_pending",
+    __slots__ = ("core_id", "warp_id", "trace", "ops", "n_ops", "pc",
+                 "outstanding", "busy_until", "at_barrier", "fence_pending",
                  "stall_start", "stall_blocker", "stall_record",
                  "done_cycle", "completed_ops")
 
@@ -79,6 +79,11 @@ class Warp:
         self.core_id = trace.core_id
         self.warp_id = trace.warp_id
         self.trace = trace
+        #: Direct references for the issue stage's per-cycle scan, which is
+        #: hot enough that even the ``trace.ops`` attribute hop and the
+        #: ``done`` property call showed up in profiles.
+        self.ops = trace.ops
+        self.n_ops = len(trace.ops)
         self.pc = 0
         #: In-flight global memory ops, oldest first.
         self.outstanding: List[MemOpRecord] = []
@@ -94,12 +99,12 @@ class Warp:
 
     @property
     def done(self) -> bool:
-        return self.pc >= len(self.trace.ops)
+        return self.pc >= self.n_ops
 
     def next_op(self) -> Optional[TraceOp]:
         if self.done:
             return None
-        return self.trace.ops[self.pc]
+        return self.ops[self.pc]
 
     @property
     def oldest_outstanding(self) -> Optional[MemOpRecord]:

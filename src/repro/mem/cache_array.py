@@ -59,6 +59,11 @@ class CacheArray:
         self.assoc = cfg.assoc
         self._block_shift = cfg.block_bytes.bit_length() - 1
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.n_sets)]
+        #: Flat base-address -> line mirror of ``_sets``. Lookups by block
+        #: address are the single hottest operation in the simulator; one
+        #: dict probe here replaces the shift/modulo/set-indexing dance (and
+        #: hot protocol paths read ``_map`` directly, skipping the call).
+        self._map: Dict[int, CacheLine] = {}
 
     # ------------------------------------------------------------------
     def set_index(self, addr: int) -> int:
@@ -68,10 +73,14 @@ class CacheArray:
         return (addr >> self._block_shift) << self._block_shift
 
     # ------------------------------------------------------------------
+    # The address arithmetic is inlined (rather than routed through
+    # ``block_of``/``set_index``) in the methods below: lookups run a few
+    # hundred thousand times per simulation and the extra call frames were
+    # measurable.
     def lookup(self, addr: int) -> Optional[CacheLine]:
         """Return the line holding ``addr`` (any state), or None."""
-        base = self.block_of(addr)
-        return self._sets[self.set_index(addr)].get(base)
+        blk = addr >> self._block_shift
+        return self._map.get(blk << self._block_shift)
 
     def insert(
         self,
@@ -86,8 +95,9 @@ class CacheArray:
         Raises :class:`SimulationError` if every line in the set is pinned —
         callers must check :meth:`can_allocate` first and stall instead.
         """
-        base = self.block_of(addr)
-        s = self._sets[self.set_index(addr)]
+        blk = addr >> self._block_shift
+        base = blk << self._block_shift
+        s = self._sets[blk % self.n_sets]
         line = s.get(base)
         if line is not None:
             line.state = state
@@ -103,30 +113,45 @@ class CacheArray:
             if evict_cb is not None:
                 evict_cb(victim)
             del s[victim.addr]
+            del self._map[victim.addr]
         line = CacheLine(base, state)
         s[base] = line
+        self._map[base] = line
         return line
 
     def can_allocate(self, addr: int) -> bool:
         """True if a line for ``addr`` exists or a victim is available."""
-        base = self.block_of(addr)
-        s = self._sets[self.set_index(addr)]
-        if base in s or len(s) < self.assoc:
+        blk = addr >> self._block_shift
+        s = self._sets[blk % self.n_sets]
+        if blk << self._block_shift in s or len(s) < self.assoc:
             return True
         return self._pick_victim(s) is not None
 
     def remove(self, addr: int) -> Optional[CacheLine]:
-        base = self.block_of(addr)
-        return self._sets[self.set_index(addr)].pop(base, None)
+        blk = addr >> self._block_shift
+        base = blk << self._block_shift
+        self._map.pop(base, None)
+        return self._sets[blk % self.n_sets].pop(base, None)
 
     def _pick_victim(self, s: Dict[int, CacheLine]) -> Optional[CacheLine]:
-        candidates = [ln for ln in s.values() if not ln.pinned]
-        if not candidates:
-            return None
-        # Prefer invalid lines, then LRU.
-        invalid = [ln for ln in candidates if ln.state is self.invalid_state]
-        pool = invalid or candidates
-        return min(pool, key=lambda ln: ln._lru)
+        # Prefer invalid lines, then LRU. Single pass; ties keep the first
+        # candidate in set-dict order, exactly like the historical
+        # ``min(invalid or candidates, key=lru)`` over filtered lists.
+        inv_state = self.invalid_state
+        best = best_inv = None
+        best_lru = best_inv_lru = 0
+        for ln in s.values():
+            if ln.pinned:
+                continue
+            lru = ln._lru
+            if ln.state is inv_state:
+                if best_inv is None or lru < best_inv_lru:
+                    best_inv = ln
+                    best_inv_lru = lru
+            elif best is None or lru < best_lru:
+                best = ln
+                best_lru = lru
+        return best_inv if best_inv is not None else best
 
     def set_lines(self, addr: int) -> List[CacheLine]:
         """All lines in the set that ``addr`` maps to."""
@@ -144,3 +169,4 @@ class CacheArray:
         """Drop every line (rollover flash-clear)."""
         for s in self._sets:
             s.clear()
+        self._map.clear()

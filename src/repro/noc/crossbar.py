@@ -72,9 +72,15 @@ class Crossbar:
         #: from microbenchmarking real hardware).
         self.extra_latency = extra_latency
         self.stats = TrafficStats()
-        #: Per (direction, source-endpoint) port next-free cycle.
-        self._port_free: Dict[Tuple[Direction, Any], int] = defaultdict(int)
+        #: Per source-endpoint injection-port next-free cycle (each source
+        #: endpoint feeds exactly one direction's crossbar).
+        self._port_free: Dict[Any, int] = defaultdict(int)
         self._endpoints: Dict[Any, DeliverCb] = {}
+        #: Flit counts — and hence port-serialization cycles — depend only
+        #: on the message kind (given the fixed block/flit sizes), so both
+        #: are computed once per kind.
+        self._flit_info: Dict[MsgKind, Tuple[int, int]] = {}
+        self._hop_latency = cfg.link_latency + extra_latency
 
     # ------------------------------------------------------------------
     def register(self, endpoint: Any, deliver: DeliverCb) -> None:
@@ -92,19 +98,32 @@ class Crossbar:
         The message serializes on its source port (1 flit/cycle), then takes
         ``link_latency`` cycles to cross the switch.
         """
-        flits = msg.flits(self.block_bytes, self.cfg.flit_bytes)
-        self.stats.record(msg, flits)
-        direction = self.direction_of(msg.src)
-        key = (direction, msg.src)
+        kind = msg.kind
+        info = self._flit_info.get(kind)
+        if info is None:
+            flits = msg.flits(self.block_bytes, self.cfg.flit_bytes)
+            per_cycle = self.cfg.flits_per_cycle_per_port
+            info = (flits, (flits + per_cycle - 1) // per_cycle)
+            self._flit_info[kind] = info
+        flits, serialize = info
+        stats = self.stats
+        stats.flits_by_kind[kind] += flits
+        stats.msgs_by_kind[kind] += 1
+        # The direction is a function of the source endpoint, so the source
+        # alone keys the injection port (``(direction, src)`` and ``src``
+        # are in bijection; the tuple build and extra hash were pure
+        # overhead in this hot path).
+        key = msg.src
+        port_free = self._port_free
+        start = port_free[key]
         now = self.engine.now
-        start = max(now, self._port_free[key])
-        serialize = (flits + self.cfg.flits_per_cycle_per_port - 1) \
-            // self.cfg.flits_per_cycle_per_port
-        self._port_free[key] = start + serialize
-        arrival = start + serialize + self.cfg.link_latency + self.extra_latency
+        if now > start:
+            start = now
+        port_free[key] = start + serialize
+        arrival = start + serialize + self._hop_latency
 
         handler = self._endpoints.get(msg.dst)
         if handler is None:
             raise KeyError(f"message to unregistered endpoint {msg.dst!r}: {msg!r}")
-        self.engine.schedule(arrival, lambda: handler(msg))
+        self.engine.schedule_call(arrival, lambda: handler(msg))
         return arrival

@@ -1,0 +1,22 @@
+"""Performance benchmark harness and regression gate.
+
+``repro-perf`` measures simulator throughput (events/sec, cycles/sec,
+wall-clock) on a fixed set of representative sweep cells, writes the
+measurements to a ``BENCH_<date>.json`` report, and can check them
+against a stored baseline with a tolerance band — the CI perf-smoke
+gate that keeps the fast-path event queue fast.
+"""
+
+from repro.perf.bench import (
+    BENCH_SCHEMA, calibrate, compare_to_baseline, quick_cells, full_cells,
+    run_bench,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "calibrate",
+    "compare_to_baseline",
+    "quick_cells",
+    "full_cells",
+    "run_bench",
+]

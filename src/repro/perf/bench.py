@@ -1,0 +1,190 @@
+"""Benchmark definitions and the baseline comparison policy.
+
+Throughput is measured per cell as engine events fired per wall-clock
+second. Absolute events/sec varies across machines, so every report also
+carries a *calibration score* — the throughput of a fixed pure-Python
+loop on the same interpreter — and regression checks compare
+calibration-normalized throughput. That makes a stored baseline
+meaningful on a different host as long as the tolerance band is wide
+enough to absorb residual machine skew (the CI gate runs baseline and
+candidate on the same runner class, where the band mostly absorbs
+scheduler noise).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config import GPUConfig
+from repro.exec import SimCell, run_cell
+
+BENCH_SCHEMA = 1
+
+#: Cells for ``--quick`` mode (CI smoke): the small machine keeps each
+#: cell under a second while still exercising all four protocol families
+#: and both timestamp designs (logical RCC, physical TC).
+_QUICK = [
+    ("MESI", "bfs"),
+    ("TCS", "dlb"),
+    ("TCW", "lud"),
+    ("RCC", "bfs"),
+    ("RCC-WO", "stn"),
+]
+
+#: Cells for full mode: the paper's bench machine on the workloads that
+#: dominate the Fig. 9 sweep's runtime, including the lease-pressure
+#: cases (TCS/TCW on bfs) that stress the L2 retry path.
+_FULL = [
+    ("MESI", "bfs"),
+    ("TCS", "bfs"),
+    ("TCW", "bfs"),
+    ("RCC", "bfs"),
+    ("RCC-WO", "stn"),
+    ("MESI", "kmn"),
+    ("TCW", "lud"),
+    ("RCC", "sr"),
+]
+
+
+def quick_cells() -> List[SimCell]:
+    cfg = GPUConfig.small()
+    return [SimCell(cfg=cfg, protocol=p, workload=w) for p, w in _QUICK]
+
+
+def full_cells() -> List[SimCell]:
+    cfg = GPUConfig.bench()
+    return [SimCell(cfg=cfg, protocol=p, workload=w) for p, w in _FULL]
+
+
+def calibrate(iters: int = 300_000, repeats: int = 3) -> float:
+    """Machine-speed score: iterations/sec of a fixed arithmetic loop.
+
+    Best-of-N wall time so that a context switch mid-repeat cannot
+    deflate the score (which would *inflate* normalized throughput).
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(iters):
+            acc += i * i
+        best = min(best, time.perf_counter() - t0)
+    return iters / best
+
+
+def _measure(cell: SimCell) -> Tuple[Dict[str, Any], Any]:
+    t0 = time.perf_counter()
+    result = run_cell(cell)
+    wall = time.perf_counter() - t0
+    fired = getattr(result, "events_fired", 0) or 0
+    cycles = getattr(result, "cycles", 0) or 0
+    return (
+        {
+            "wall_s": round(wall, 6),
+            "events": fired,
+            "cycles": cycles,
+            "events_per_s": round(fired / wall, 1) if wall > 0 else 0.0,
+            "cycles_per_s": round(cycles / wall, 1) if wall > 0 else 0.0,
+        },
+        result,
+    )
+
+
+def run_bench(quick: bool = False,
+              compare_legacy: bool = False) -> Dict[str, Any]:
+    """Run the benchmark suite; returns the report dict.
+
+    With ``compare_legacy``, every cell is re-run on the pre-optimization
+    heap engine (``RCC_LEGACY_ENGINE=1``) and the report gains a
+    ``legacy`` block per cell plus the end-to-end speedup ratio. The two
+    runs must produce identical result payloads — the engines share one
+    determinism contract — and a mismatch raises immediately.
+    """
+    import os
+
+    cells = quick_cells() if quick else full_cells()
+    calibration = calibrate()
+    report: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "mode": "quick" if quick else "full",
+        "calibration_loops_per_s": round(calibration, 1),
+        "cells": {},
+    }
+    total_wall = 0.0
+    total_events = 0
+    legacy_wall = 0.0
+    for cell in cells:
+        entry, result = _measure(cell)
+        entry["events_per_s_normalized"] = round(
+            entry["events_per_s"] / calibration, 6)
+        if compare_legacy:
+            os.environ["RCC_LEGACY_ENGINE"] = "1"
+            try:
+                legacy_entry, legacy_result = _measure(cell)
+            finally:
+                del os.environ["RCC_LEGACY_ENGINE"]
+            if legacy_result.to_payload() != result.to_payload():
+                raise AssertionError(
+                    f"legacy/fast engine payload mismatch on {cell.label}")
+            entry["legacy"] = legacy_entry
+            entry["speedup_vs_legacy"] = round(
+                legacy_entry["wall_s"] / entry["wall_s"], 3)
+            legacy_wall += legacy_entry["wall_s"]
+        report["cells"][cell.label] = entry
+        total_wall += entry["wall_s"]
+        total_events += entry["events"]
+    report["totals"] = {
+        "wall_s": round(total_wall, 6),
+        "events": total_events,
+        "events_per_s": round(total_events / total_wall, 1)
+        if total_wall > 0 else 0.0,
+    }
+    if compare_legacy and total_wall > 0:
+        report["totals"]["legacy_wall_s"] = round(legacy_wall, 6)
+        report["totals"]["speedup_vs_legacy"] = round(
+            legacy_wall / total_wall, 3)
+    return report
+
+
+def compare_to_baseline(current: Dict[str, Any], baseline: Dict[str, Any],
+                        tolerance: float = 0.20) -> List[str]:
+    """Regression check; returns failure messages (empty = pass).
+
+    A cell fails when its calibration-normalized events/sec drops more
+    than ``tolerance`` below the baseline's. Cells present only on one
+    side are reported but do not fail the gate (the cell set may evolve);
+    a baseline from a different mode does fail loudly.
+    """
+    failures: List[str] = []
+    if baseline.get("mode") != current.get("mode"):
+        return [
+            f"baseline mode {baseline.get('mode')!r} does not match "
+            f"current mode {current.get('mode')!r}; regenerate the "
+            "baseline with --update-baseline"
+        ]
+    base_cells = baseline.get("cells", {})
+    cur_cells = current.get("cells", {})
+    for label, base in base_cells.items():
+        cur = cur_cells.get(label)
+        if cur is None:
+            continue
+        base_norm = base.get("events_per_s_normalized", 0.0)
+        cur_norm = cur.get("events_per_s_normalized", 0.0)
+        if base_norm <= 0:
+            continue
+        floor = base_norm * (1.0 - tolerance)
+        if cur_norm < floor:
+            failures.append(
+                f"{label}: normalized throughput {cur_norm:.6f} is "
+                f"{(1 - cur_norm / base_norm) * 100:.1f}% below baseline "
+                f"{base_norm:.6f} (tolerance {tolerance * 100:.0f}%)"
+            )
+        if base.get("events") and cur.get("events") \
+                and base["events"] != cur["events"]:
+            failures.append(
+                f"{label}: event count changed {base['events']} -> "
+                f"{cur['events']} — simulation behavior drifted, not just "
+                "speed; update the baseline deliberately if intended"
+            )
+    return failures

@@ -1,0 +1,111 @@
+"""``repro-perf`` — benchmark the simulator and gate regressions.
+
+Typical uses::
+
+    repro-perf                         # full suite, writes BENCH_<date>.json
+    repro-perf --quick                 # CI smoke subset on the small machine
+    repro-perf --compare-legacy        # also time the pre-optimization engine
+    repro-perf --baseline benchmarks/perf_baseline.json --check
+    repro-perf --baseline benchmarks/perf_baseline.json --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import sys
+from typing import List, Optional
+
+from repro.perf.bench import compare_to_baseline, run_bench
+
+
+def _default_out() -> str:
+    return f"BENCH_{datetime.date.today().isoformat()}.json"
+
+
+def _render(report: dict) -> str:
+    lines = [f"repro-perf ({report['mode']} mode, calibration "
+             f"{report['calibration_loops_per_s'] / 1e6:.2f}M loops/s)"]
+    for label, cell in report["cells"].items():
+        line = (f"  {label:<12} {cell['wall_s']:8.3f}s  "
+                f"{cell['events']:>9} events  "
+                f"{cell['events_per_s'] / 1e3:8.1f}k ev/s")
+        if "speedup_vs_legacy" in cell:
+            line += f"  ({cell['speedup_vs_legacy']:.2f}x vs legacy)"
+        lines.append(line)
+    totals = report["totals"]
+    line = (f"  {'total':<12} {totals['wall_s']:8.3f}s  "
+            f"{totals['events']:>9} events  "
+            f"{totals['events_per_s'] / 1e3:8.1f}k ev/s")
+    if "speedup_vs_legacy" in totals:
+        line += f"  ({totals['speedup_vs_legacy']:.2f}x vs legacy)"
+    lines.append(line)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-perf",
+        description="Simulator throughput benchmark and regression gate.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small-machine smoke subset (CI)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="report path (default: BENCH_<date>.json)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="stored baseline report to compare against")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero if throughput regresses vs "
+                             "--baseline beyond --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed normalized-throughput drop "
+                             "(default 0.20)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write this run's report to --baseline")
+    parser.add_argument("--compare-legacy", action="store_true",
+                        help="re-run each cell on the legacy heap engine "
+                             "and report the speedup (asserts identical "
+                             "result payloads)")
+    args = parser.parse_args(argv)
+
+    if (args.check or args.update_baseline) and not args.baseline:
+        parser.error("--check/--update-baseline require --baseline")
+
+    report = run_bench(quick=args.quick, compare_legacy=args.compare_legacy)
+    print(_render(report))
+
+    out = args.out or _default_out()
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"report written to {out}")
+
+    if args.update_baseline:
+        with open(args.baseline, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if args.check:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except FileNotFoundError:
+            print(f"baseline {args.baseline} not found; run with "
+                  "--update-baseline to create it", file=sys.stderr)
+            return 2
+        failures = compare_to_baseline(report, baseline,
+                                       tolerance=args.tolerance)
+        if failures:
+            print("perf regression check FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"perf regression check passed "
+              f"(tolerance {args.tolerance * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,8 @@ examples, and the benchmark harness.
 
 from __future__ import annotations
 
+import gc
+
 from typing import Any, Dict, List, Optional
 
 from repro.common.addresses import AddressMap
@@ -30,7 +32,7 @@ from repro.mem.dram import DRAMPartition
 from repro.noc.crossbar import Crossbar
 from repro.sanitize.sanitizer import Sanitizer
 from repro.sim.results import SimResult
-from repro.timing.engine import Engine
+from repro.timing import make_engine
 
 
 class GPUSimulator:
@@ -52,7 +54,7 @@ class GPUSimulator:
         self.record_ops = record_ops
 
         reset_op_seq()
-        self.engine = Engine(max_cycles=cfg.max_cycles)
+        self.engine = make_engine(max_cycles=cfg.max_cycles)
         self.amap = AddressMap(cfg.l1.block_bytes, cfg.l2_banks)
         self.noc = Crossbar(
             self.engine, cfg.noc, block_bytes=cfg.l1.block_bytes,
@@ -122,7 +124,23 @@ class GPUSimulator:
                 start()
         for core in self.cores:
             core.start()
-        self.engine.run()
+        # The event loop allocates heavily (records, messages, retry
+        # closures), and the cached retry callbacks form reference cycles
+        # (msg.meta -> cb -> msg) that keep the generational collector
+        # scanning a large, mostly-immortal heap mid-run. One run's garbage
+        # fits comfortably in memory, so pause collection for the loop and
+        # reclaim the cycles in one sweep afterwards. Purely a wall-clock
+        # optimization: allocation order, and hence simulation behavior,
+        # is unaffected.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self.engine.run()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+                gc.collect()
         if self._cores_done != self.cfg.n_cores:
             stuck = [c.core_id for c in self.cores if not c.finished]
             detail = (f"cores {stuck} never finished "
@@ -147,6 +165,7 @@ class GPUSimulator:
             rollovers=(self.proto.rollover.rollovers
                        if self.proto.rollover else 0),
             final_memory=self.final_memory(),
+            events_fired=self.engine.events_fired,
         )
         return self.result
 

@@ -15,11 +15,13 @@ from repro.stats.histogram import Histogram
 
 #: Bumped whenever the payload schema below changes shape, so stale cache
 #: entries written by older code are rejected instead of misread.
-PAYLOAD_VERSION = 1
+#: v2: added ``events_fired`` (engine events per run, the benchmark
+#: harness's throughput numerator).
+PAYLOAD_VERSION = 2
 
 #: Plain-integer attributes copied verbatim by to_payload/from_payload.
 _PAYLOAD_SCALARS = (
-    "cycles", "virtual_channels", "rollovers",
+    "cycles", "events_fired", "virtual_channels", "rollovers",
     "mem_ops", "sc_stalled_ops", "sc_stall_cycles", "structural_stalls",
     "fence_ops", "fence_wait_cycles",
     "l1_loads", "l1_load_hits", "l1_load_expired", "l1_renews",
@@ -51,10 +53,14 @@ class SimResult:
                  noc: Any, drams: List[Any], virtual_channels: int,
                  op_logs: Optional[List[Any]] = None,
                  rollovers: int = 0,
-                 final_memory: Optional[Dict[int, Any]] = None):
+                 final_memory: Optional[Dict[int, Any]] = None,
+                 events_fired: int = 0):
         self.protocol = protocol
         self.workload = workload
         self.cycles = cycles
+        #: Timing-engine events fired during the run; with wall-clock this
+        #: gives the events/sec throughput the perf harness tracks.
+        self.events_fired = events_fired
         self.virtual_channels = virtual_channels
         self.op_logs = op_logs or []
         self.rollovers = rollovers

@@ -30,12 +30,17 @@ class Histogram:
     def add(self, value: int, count: int = 1) -> None:
         if value < 0:
             raise ValueError(f"negative sample: {value}")
-        value = min(value, self.max_value)
-        self._buckets[self._bucket_of(value)] += count
+        if value > self.max_value:
+            value = self.max_value
+        self._buckets[value.bit_length()] += count
         self.count += count
         self.total += value * count
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
+        mn = self.min
+        if mn is None or value < mn:
+            self.min = value
+        mx = self.max
+        if mx is None or value > mx:
+            self.max = value
 
     # ------------------------------------------------------------------
     @property
