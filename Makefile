@@ -5,8 +5,8 @@ PY       ?= python
 PYPATH   := PYTHONPATH=src
 JOBS     ?= 4
 
-.PHONY: test test-fast test-exec fuzz fuzz-smoke sanitize bench report \
-        report-par clean-cache perf perf-baseline
+.PHONY: test test-fast test-exec fuzz fuzz-smoke hostile hostile-smoke \
+        sanitize bench report report-par clean-cache perf perf-baseline
 
 test:            ## tier-1: the full test suite
 	$(PYPATH) $(PY) -m pytest -x -q
@@ -28,6 +28,15 @@ sanitize:        ## quick experiment grid + bounded fuzz, invariant-checked
 fuzz:            ## a long differential campaign across all protocols
 	$(PYPATH) $(PY) -m repro.fuzz.cli --seed 0 --programs 2000 \
 	    --fence-density 0.2 --p-atomic 0.1
+
+hostile-smoke:   ## bounded hostile-workload knob fuzz (sanitized, ~1 min)
+	$(PYPATH) $(PY) -m repro.fuzz.cli --workloads --runs 10 \
+	    --baseline benchmarks/perf_baseline.json
+
+hostile:         ## a deep hostile-lab campaign, archiving any finds
+	$(PYPATH) $(PY) -m repro.fuzz.cli --workloads --runs 100 -v \
+	    --baseline benchmarks/perf_baseline.json \
+	    --save-cells tests/corpus
 
 bench:           ## paper figures/tables under pytest-benchmark
 	$(PYPATH) $(PY) -m pytest benchmarks/ --benchmark-only

@@ -223,6 +223,26 @@ class GPUConfig:
         return dataclasses.replace(self, **kwargs)
 
 
+#: Canned machine configurations addressable by name (CLI flags, corpus
+#: cell files). Names, not serialized configs, keep reproducer files
+#: readable and robust to config-schema evolution.
+NAMED_CONFIGS = {
+    "small": GPUConfig.small,
+    "bench": GPUConfig.bench,
+    "paper": GPUConfig.paper,
+}
+
+
+def named_config(name: str) -> GPUConfig:
+    """Instantiate a canned configuration by name."""
+    try:
+        return NAMED_CONFIGS[name.lower()]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown config {name!r}; choose from {sorted(NAMED_CONFIGS)}"
+        ) from None
+
+
 def consistency_of(protocol: str) -> str:
     """Consistency model ('sc' or 'wo') enforced with ``protocol``."""
     try:

@@ -184,6 +184,7 @@ class RCCL1Controller(L1ControllerBase):
             self._emit(EV.L1_STORE_ISSUE, block, now=self._write_now(),
                        view="write", epoch=self.rollover.epoch,
                        atomic=record.kind is MemOpKind.ATOMIC,
+                       op=record.seq,
                        copy_exp=(vline.exp if vline is not None
                                  and vline.state is L1State.V else None))
         entry = self.mshr.allocate(block)
@@ -335,7 +336,7 @@ class RCCL1Controller(L1ControllerBase):
                         and line.state is L1State.V else None)
             self._emit(EV.L1_STORE_ACK, block, ver=ver,
                        now_after=self._write_now(), copy_exp=copy_exp,
-                       view="write",
+                       view="write", op=record.seq,
                        epoch=msg.meta.get("epoch", self.rollover.epoch),
                        cur_epoch=self.rollover.epoch)
         if not entry.pending_stores:

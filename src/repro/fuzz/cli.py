@@ -1,4 +1,4 @@
-"""``repro-fuzz``: command-line differential fuzz campaigns.
+"""``repro-fuzz``: command-line differential and workload-knob fuzzing.
 
 Usage::
 
@@ -8,32 +8,42 @@ Usage::
     repro-fuzz --replay tests/corpus              # replay a corpus
     repro-fuzz --programs 1000 --save-failing out/  # archive reproducers
 
-Exit status is non-zero when any program fails differential checking, so
-the command slots straight into CI. ``make fuzz`` runs a long campaign.
+    repro-fuzz --workloads --runs 25              # hostile-lab campaign
+    repro-fuzz --workloads --regimes storm,thrash --save-cells tests/corpus
+
+With ``--workloads`` the fuzzer mutates hostile-workload knobs instead of
+litmus programs, hunting invariant violations and performance cliffs
+against ``benchmarks/perf_baseline.json`` (see :mod:`repro.fuzz.workloads`).
+``--replay`` accepts both corpus formats: ``*.trace`` litmus programs and
+``*.cell`` hostile-run reproducers.
+
+Exit status is non-zero when any program fails differential checking or
+any hostile run violates an invariant, so the command slots straight into
+CI. Cliffs are report-only unless ``--fail-on-cliff``. ``make fuzz`` runs
+a long campaign.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
 
 from repro.coherence.registry import available_protocols
-from repro.config import GPUConfig
+from repro.config import NAMED_CONFIGS, named_config
 from repro.errors import ReproError
 from repro.exec import SweepExecutor
+from repro.fuzz.cellfile import cell_files, replay_cell, save_cell
 from repro.fuzz.corpus import corpus_files, load_program, save_program
 from repro.fuzz.differential import (
     DifferentialRunner, run_campaign,
 )
 from repro.fuzz.generator import FuzzKnobs
+from repro.fuzz.workloads import DEFAULT_PROTOCOLS, run_hostile_campaign
 
-CONFIGS = {
-    "small": GPUConfig.small,
-    "bench": GPUConfig.bench,
-    "paper": GPUConfig.paper,
-}
+DEFAULT_BASELINE = os.path.join("benchmarks", "perf_baseline.json")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,7 +64,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--protocols", default="all",
                    help="comma-separated protocol list, or 'all' "
                         f"({', '.join(available_protocols())})")
-    p.add_argument("--config", choices=sorted(CONFIGS), default="small",
+    p.add_argument("--config", choices=sorted(NAMED_CONFIGS),
+                   default="small",
                    help="base machine configuration (default small)")
     # Generator knobs.
     p.add_argument("--cores", type=int, default=2)
@@ -89,6 +100,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", metavar="FILE",
                    help="with --sanitize: dump the last coherence events "
                         "as JSON lines to FILE on a violation")
+    # Workload-knob fuzzing (the hostile lab).
+    p.add_argument("--workloads", action="store_true",
+                   help="fuzz hostile-workload knobs instead of litmus "
+                        "programs (sanitizer always on; see --runs, "
+                        "--regimes, --baseline)")
+    p.add_argument("--runs", type=int, default=10,
+                   help="with --workloads: mutation draws, round-robined "
+                        "across regimes (default 10)")
+    p.add_argument("--regimes", default="all",
+                   help="with --workloads: comma-separated hostile regimes "
+                        "or 'all' (storm, pingpong, rwext, bursty, thrash)")
+    p.add_argument("--baseline", metavar="FILE", default=DEFAULT_BASELINE,
+                   help="perf baseline for cliff detection (default "
+                        f"{DEFAULT_BASELINE}; 'none' disables)")
+    p.add_argument("--cliff-ratio", type=float, default=0.125,
+                   help="throughput cliff: normalized events/s below this "
+                        "fraction of the baseline median (default 0.125)")
+    p.add_argument("--stall-factor", type=float, default=20.0,
+                   help="stall cliff: SC stall cycles/op above this "
+                        "multiple of the reference median (default 20)")
+    p.add_argument("--report", metavar="FILE",
+                   help="with --workloads: write the full campaign report "
+                        "as JSON to FILE")
+    p.add_argument("--save-cells", metavar="DIR",
+                   help="with --workloads: write violation/cliff "
+                        "reproducers as .cell files to DIR")
+    p.add_argument("--fail-on-cliff", action="store_true",
+                   help="with --workloads: exit non-zero on performance "
+                        "cliffs too, not just violations")
     return p
 
 
@@ -102,7 +142,7 @@ def _knobs(args) -> FuzzKnobs:
 
 
 def _runner(args) -> DifferentialRunner:
-    cfg = CONFIGS[args.config]()
+    cfg = named_config(args.config)
     protocols = (available_protocols() if args.protocols == "all"
                  else [s.strip() for s in args.protocols.split(",") if s.strip()])
     return DifferentialRunner(cfg=cfg, protocols=protocols,
@@ -111,17 +151,27 @@ def _runner(args) -> DifferentialRunner:
 
 
 def _replay(args, runner: DifferentialRunner) -> int:
+    """Replay a mixed corpus: litmus ``.trace`` programs through the
+    differential runner, hostile ``.cell`` reproducers through the
+    sanitized simulator."""
     paths: List[str] = []
     for p in args.replay:
         if os.path.isdir(p):
             paths.extend(corpus_files(p))
+            paths.extend(cell_files(p))
         else:
             paths.append(p)
     if not paths:
         print("no corpus files found", file=sys.stderr)
         return 2
     failed = 0
-    for path in paths:
+    for path in sorted(paths):
+        if path.endswith(".cell"):
+            replay = replay_cell(path)
+            print(replay.describe())
+            if not replay.passed:
+                failed += 1
+            continue
         program = load_program(path)
         verdict = runner.check_program(program)
         status = "PASS" if verdict.passed else "FAIL"
@@ -133,8 +183,53 @@ def _replay(args, runner: DifferentialRunner) -> int:
                 print(f"  {reason}")
         elif args.verbose:
             print(program.pretty())
-    print(f"[replayed {len(paths)} corpus programs, {failed} failing]")
+    print(f"[replayed {len(paths)} corpus entries, {failed} failing]")
     return 1 if failed else 0
+
+
+def _workloads_main(args) -> int:
+    """The ``--workloads`` mode: one hostile-lab fuzz campaign."""
+    protocols = (list(DEFAULT_PROTOCOLS) if args.protocols == "all"
+                 else [s.strip() for s in args.protocols.split(",")
+                       if s.strip()])
+    baseline = None if args.baseline.lower() == "none" else args.baseline
+
+    def progress(i, run):
+        if args.verbose:
+            status = run.status.upper() if not run.ok else (
+                "CLIFF" if run.cliffs else "OK")
+            print(f"[{i + 1}] {status} {run.regime} {run.cell.label} "
+                  f"seed={run.cell.seed}")
+
+    result = run_hostile_campaign(
+        config_name=args.config, regimes=args.regimes, runs=args.runs,
+        seed=args.seed, protocols=protocols, baseline_path=baseline,
+        cliff_ratio=args.cliff_ratio, stall_factor=args.stall_factor,
+        executor=SweepExecutor(jobs=args.jobs), on_run=progress)
+    print(result.render())
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(result.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"campaign report written to {args.report}")
+    interesting = result.violations + result.errors + result.cliff_runs
+    if args.save_cells and interesting:
+        os.makedirs(args.save_cells, exist_ok=True)
+        for run in interesting:
+            reason = (run.record["message"] if not run.ok
+                      else "; ".join(run.cliffs))
+            expect = ({"mem_ops": run.record["mem_ops"]} if run.ok else {})
+            stem = f"hostile_{run.regime}_{run.cell.protocol.lower()}_" \
+                   f"{run.cell.seed % 100000:05d}"
+            path = os.path.join(args.save_cells, f"{stem}.cell")
+            save_cell(path, run.cell, run.config_name, reason=reason,
+                      expect=expect)
+            print(f"reproducer written to {path}")
+    if not result.passed:
+        return 1
+    if args.fail_on_cliff and result.cliff_runs:
+        return 1
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -149,6 +244,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _main(args) -> int:
+    if args.workloads:
+        return _workloads_main(args)
     runner = _runner(args)
     if args.replay:
         return _replay(args, runner)

@@ -79,6 +79,8 @@ def _measure(cell: SimCell) -> Tuple[Dict[str, Any], Any]:
     wall = time.perf_counter() - t0
     fired = getattr(result, "events_fired", 0) or 0
     cycles = getattr(result, "cycles", 0) or 0
+    mem_ops = getattr(result, "mem_ops", 0) or 0
+    stall = getattr(result, "sc_stall_cycles", 0) or 0
     return (
         {
             "wall_s": round(wall, 6),
@@ -86,6 +88,12 @@ def _measure(cell: SimCell) -> Tuple[Dict[str, Any], Any]:
             "cycles": cycles,
             "events_per_s": round(fired / wall, 1) if wall > 0 else 0.0,
             "cycles_per_s": round(cycles / wall, 1) if wall > 0 else 0.0,
+            # Simulated-machine stall pressure: deterministic per cell,
+            # the reference the hostile lab's stall-cliff check is
+            # priced against.
+            "sc_stall_cycles": stall,
+            "stall_cycles_per_op": round(stall / mem_ops, 3)
+            if mem_ops else 0.0,
         },
         result,
     )

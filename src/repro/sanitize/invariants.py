@@ -71,12 +71,16 @@ class RCCInvariants(InvariantSuite):
         self._clock: Dict[Tuple[int, str], Tuple[int, int]] = {}
         #: block -> (epoch, last observed version at the L2)
         self._ver: Dict[int, Tuple[int, int]] = {}
-        #: (core, block) -> (epoch, exp) of a *pre-store* copy: a valid
-        #: copy that existed when a store issued (the VI state). A later
+        #: (core, block) -> {store op seq: (epoch, exp)} of the *pre-store*
+        #: copy: a valid copy that existed when that store issued (the VI
+        #: state). Keyed per store op — several stores to one block can be
+        #: outstanding at once, and an ack for a store that issued with NO
+        #: copy (e.g. one merged at the L2 before any lease existed) must
+        #: not be judged against a copy a *later* store snapshotted. A
         #: fill replaces the copy with the L2's post-write value, so it
-        #: clears the entry — the VI legality rule only constrains acks
-        #: against copies that predate the store.
-        self._vi: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        #: clears the whole entry — the VI legality rule only constrains
+        #: acks against copies that predate their own store.
+        self._vi: Dict[Tuple[int, int], Dict[int, Tuple[int, int]]] = {}
 
     # -- helpers -------------------------------------------------------
     def _bounds(self, ev: CoherenceEvent) -> Optional[Violation]:
@@ -129,14 +133,17 @@ class RCCInvariants(InvariantSuite):
         if kind == EV.L1_STORE_ISSUE:
             copy_exp = ev.get("copy_exp")
             if copy_exp is not None:
-                self._vi[(ev.unit_id, ev.addr)] = (ev.get("epoch", 0),
-                                                   copy_exp)
+                self._vi.setdefault((ev.unit_id, ev.addr), {})[
+                    ev.get("op")] = (ev.get("epoch", 0), copy_exp)
             return None
         if kind == EV.L1_RENEW:
-            # A RENEW extends the (pre-store) copy's lease in place.
-            key = (ev.unit_id, ev.addr)
-            if key in self._vi:
-                self._vi[key] = (ev.get("epoch", 0), ev.get("exp"))
+            # A RENEW extends the (pre-store) copy's lease in place; every
+            # outstanding store snapshotted that same physical copy.
+            entry = self._vi.get((ev.unit_id, ev.addr))
+            if entry:
+                epoch, exp = ev.get("epoch", 0), ev.get("exp")
+                for op in entry:
+                    entry[op] = (epoch, exp)
             return None
         if kind in (EV.L1_SELF_INVAL, EV.L1_EVICT):
             self._vi.pop((ev.unit_id, ev.addr), None)
@@ -195,7 +202,8 @@ class RCCInvariants(InvariantSuite):
 
     def _on_store_ack(self, ev: CoherenceEvent) -> Optional[Violation]:
         ver = ev.get("ver")
-        vi = self._vi.get((ev.unit_id, ev.addr))
+        entry = self._vi.get((ev.unit_id, ev.addr))
+        vi = entry.pop(ev.get("op"), None) if entry else None
         # Only meaningful when every epoch involved is current: a
         # stale-epoch ack clamps to ver=0 and conservatively drops the
         # (valid) new copy.

@@ -27,6 +27,20 @@ class Histogram:
     def _bucket_of(value: int) -> int:
         return value.bit_length()  # 0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3 ...
 
+    def _bucket_bounds(self, i: int) -> Tuple[int, int]:
+        """Nominal [lo, hi] of bucket ``i`` — except the last bucket,
+        which is a *saturation* bucket: both ``add`` (values clamped to
+        ``max_value``) and ``merge`` (a wider histogram's overflow) can
+        park samples there that exceed its power-of-two range, so its
+        upper bound extends to the observed max. Without this, a merged
+        histogram reports every percentile below samples its own
+        min/max/mean prove it holds."""
+        lo = 0 if i == 0 else 1 << (i - 1)
+        hi = 0 if i == 0 else (1 << i) - 1
+        if i == len(self._buckets) - 1 and self.max is not None:
+            hi = max(hi, self.max)
+        return lo, hi
+
     def add(self, value: int, count: int = 1) -> None:
         if value < 0:
             raise ValueError(f"negative sample: {value}")
@@ -59,8 +73,7 @@ class Histogram:
             if n == 0:
                 continue
             if seen + n >= target:
-                lo = 0 if i == 0 else 1 << (i - 1)
-                hi = 0 if i == 0 else (1 << i) - 1
+                lo, hi = self._bucket_bounds(i)
                 # The samples can only occupy [min, max] of the bucket's
                 # nominal range; clamping keeps e.g. a single-sample
                 # histogram's every percentile equal to that sample.
@@ -80,9 +93,7 @@ class Histogram:
         out = []
         for i, n in enumerate(self._buckets):
             if n:
-                lo = 0 if i == 0 else 1 << (i - 1)
-                hi = 0 if i == 0 else (1 << i) - 1
-                out.append((lo, hi, n))
+                out.append(self._bucket_bounds(i) + (n,))
         return out
 
     def merge(self, other: "Histogram") -> None:

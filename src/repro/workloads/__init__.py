@@ -14,19 +14,24 @@ a seed.
 """
 
 from repro.workloads.base import Workload, TraceBuilder
+from repro.workloads.hostile import HOSTILE_WORKLOADS, REGIMES
 from repro.workloads.registry import (
     WORKLOADS,
     get_workload,
+    hostile_workloads,
     inter_workgroup,
     intra_workgroup,
 )
 from repro.workloads.tracefile import load_traces, save_traces
 
 __all__ = [
+    "HOSTILE_WORKLOADS",
+    "REGIMES",
     "TraceBuilder",
     "WORKLOADS",
     "Workload",
     "get_workload",
+    "hostile_workloads",
     "inter_workgroup",
     "intra_workgroup",
     "load_traces",

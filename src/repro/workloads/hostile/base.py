@@ -1,0 +1,145 @@
+"""Hostile workload machinery: knob-parameterized pathological generators.
+
+The paper's twelve benchmark models reproduce *observed* sharing patterns;
+the hostile suite instead targets the patterns nobody benchmarked — the
+regimes where a timestamp-coherence design is predicted to fall off a
+cliff (rollover storms, lease-expiry thrash, capacity blowups). Each
+generator is a :class:`HostileWorkload`: a normal :class:`Workload` whose
+behavior is additionally shaped by a declared set of :class:`Knob`\\ s, so
+the workload fuzzer can mutate the *workload*, not the litmus program.
+
+Knobbed workloads are addressable by **spec strings** —
+``"storm:hot_blocks=2,p_load=0.8"`` — which round-trip through
+``HostileWorkload.spec`` and :func:`parse_spec`. A spec is an ordinary
+workload name to the rest of the system (it rides in
+``SimCell.workload``, hashes into cache keys, survives a fork to sweep
+workers), which is what lets hostile cells flow through the existing
+executor, sanitizer, and result cache unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.errors import ConfigError
+from repro.workloads.base import Workload
+
+#: First block index of the hostile suite's address region. The paper's
+#: benchmark models address blocks up to ~2**22 (their private arenas
+#: scale with warp count); everything hostile lives above 2**23 so the
+#: two suites can never alias a cache line.
+HOSTILE_BASE = 1 << 23
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One tunable dimension of a hostile generator.
+
+    ``default`` fixes the knob's type: an ``int`` default makes an integer
+    knob (sampled log2-uniform when the range spans decades, so a
+    ``working_set`` of 256..1M blocks explores every order of magnitude),
+    a ``float`` default a real-valued one.
+    """
+
+    name: str
+    default: Any
+    lo: Any
+    hi: Any
+    doc: str = ""
+
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self.default, int) and \
+            not isinstance(self.default, bool)
+
+    def coerce(self, raw: Any) -> Any:
+        """Parse and range-check one user/fuzzer-supplied value."""
+        try:
+            value = int(raw) if self.is_int else float(raw)
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"knob {self.name!r} needs "
+                f"{'an integer' if self.is_int else 'a number'}, "
+                f"got {raw!r}") from None
+        if not (self.lo <= value <= self.hi):
+            raise ConfigError(
+                f"knob {self.name!r}={value} outside [{self.lo}, {self.hi}]")
+        return value
+
+    def sample(self, rng: random.Random) -> Any:
+        """One mutated value; floats are rounded so the resulting spec
+        string re-parses to the identical value."""
+        if self.is_int:
+            if self.lo > 0 and self.hi // self.lo >= 64:
+                exp = rng.uniform(self.lo.bit_length() - 1,
+                                  self.hi.bit_length() - 1)
+                return max(self.lo, min(self.hi, int(round(2 ** exp))))
+            return rng.randint(self.lo, self.hi)
+        return round(rng.uniform(self.lo, self.hi), 4)
+
+
+def parse_spec(spec: str) -> Tuple[str, Dict[str, str]]:
+    """Split ``"name:knob=v,knob=v"`` into (name, raw knob dict)."""
+    name, sep, rest = spec.partition(":")
+    knobs: Dict[str, str] = {}
+    if sep:
+        for item in rest.split(","):
+            if not item.strip():
+                continue
+            key, eq, value = item.partition("=")
+            if not eq or not key.strip() or not value.strip():
+                raise ConfigError(
+                    f"bad knob assignment {item!r} in workload spec "
+                    f"{spec!r} (want name:knob=value,knob=value)")
+            knobs[key.strip()] = value.strip()
+    return name.strip().lower(), knobs
+
+
+def _format_value(value: Any) -> str:
+    """Canonical spec rendering (floats via repr, which round-trips)."""
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class HostileWorkload(Workload):
+    """A pathological generator with declared, mutable knobs."""
+
+    category = "hostile"
+    KNOBS: Tuple[Knob, ...] = ()
+
+    def __init__(self, intensity: float = 1.0, seed: int = 1234,
+                 **knobs: Any):
+        super().__init__(intensity=intensity, seed=seed)
+        specs = {k.name: k for k in self.KNOBS}
+        unknown = sorted(set(knobs) - set(specs))
+        if unknown:
+            raise ConfigError(
+                f"unknown knob(s) {unknown} for workload {self.name!r}; "
+                f"available: {sorted(specs)}")
+        self.knobs: Dict[str, Any] = {
+            name: (spec.coerce(knobs[name]) if name in knobs
+                   else spec.default)
+            for name, spec in specs.items()
+        }
+
+    def knob(self, name: str) -> Any:
+        return self.knobs[name]
+
+    @property
+    def spec(self) -> str:
+        """Canonical spec string; omits knobs still at their default."""
+        parts = [f"{k.name}={_format_value(self.knobs[k.name])}"
+                 for k in self.KNOBS if self.knobs[k.name] != k.default]
+        return self.name if not parts else f"{self.name}:{','.join(parts)}"
+
+    @classmethod
+    def sample_knobs(cls, rng: random.Random,
+                     names: Tuple[str, ...] = ()) -> Dict[str, Any]:
+        """Mutate the named knobs (all of them when ``names`` is empty)."""
+        wanted = set(names) if names else {k.name for k in cls.KNOBS}
+        return {k.name: k.sample(rng) for k in cls.KNOBS
+                if k.name in wanted}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<HostileWorkload {self.spec}>"

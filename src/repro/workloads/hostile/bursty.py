@@ -1,0 +1,55 @@
+"""BURSTY — phase-changing traffic.
+
+Alternates long quiet phases (private streaming reads, the pattern every
+lease predictor trains toward maximal leases on) with sudden write-heavy
+bursts on a shared hot set (where those long leases are pure poison:
+every store must jump or wait them out). Phase changes are the classic
+adversary of any history-based predictor; this generator makes them the
+*only* feature of the workload.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder
+from repro.workloads.hostile.base import HOSTILE_BASE, HostileWorkload, Knob
+
+BURST_HOT = HOSTILE_BASE + (1 << 14)
+BURST_PRIV = BURST_HOT + 128
+
+
+class BurstyPhases(HostileWorkload):
+    name = "bursty"
+    description = ("bursty phases: read-mostly private streaming "
+                   "punctuated by write-heavy shared bursts")
+    base_iterations = 24
+    KNOBS = (
+        Knob("phase_len", 6, 1, 64, "iterations per phase"),
+        Knob("burst_p_store", 0.85, 0.0, 1.0,
+             "P(store) during a burst phase"),
+        Knob("hot_blocks", 4, 1, 64, "shared blocks a burst hammers"),
+        Knob("quiet_blocks", 32, 1, 4096,
+             "per-warp private streaming set in quiet phases"),
+    )
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        phase_len = self.knob("phase_len")
+        quiet = self.knob("quiet_blocks")
+        gid = b.trace.core_id * cfg.warps_per_core + b.trace.warp_id
+        private = BURST_PRIV + gid * quiet
+        for it in range(self.iterations()):
+            if (it // phase_len) % 2 == 0:
+                # Quiet: stream the private set; trains predictors long.
+                b.load(private + it % quiet)
+                b.load(private + (it * 3 + 1) % quiet)
+                b.compute(rng.randrange(4, 16))
+            else:
+                # Burst: write-heavy contention on the shared hot set.
+                blk = BURST_HOT + rng.randrange(self.knob("hot_blocks"))
+                if rng.random() < self.knob("burst_p_store"):
+                    b.store(blk)
+                else:
+                    b.load(blk)

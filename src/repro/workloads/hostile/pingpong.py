@@ -1,0 +1,48 @@
+"""PINGPONG — false-sharing ping-pong.
+
+Every warp logically owns a private word, but all the words share a
+handful of cache blocks, so at coherence granularity each access fights
+every other warp for the same line. MESI degenerates to an invalidation
+ping-pong; lease protocols see the block's write frequency crush the
+lease/lifetime predictors to their minimum. No paper benchmark does this
+on purpose — production code does it constantly by accident.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder
+from repro.workloads.hostile.base import HOSTILE_BASE, HostileWorkload, Knob
+
+PING_BASE = HOSTILE_BASE + (1 << 12)
+
+
+class FalseSharingPingPong(HostileWorkload):
+    name = "pingpong"
+    description = ("false sharing: all warps' 'private' words share a few "
+                   "blocks, ping-ponging ownership every access")
+    base_iterations = 24
+    KNOBS = (
+        Knob("lines", 2, 1, 16, "contended blocks the words are packed in"),
+        Knob("p_store", 0.5, 0.0, 1.0, "P(an access writes its word)"),
+        Knob("burst", 3, 1, 16, "back-to-back accesses per turn"),
+    )
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        lines = self.knob("lines")
+        burst = self.knob("burst")
+        for it in range(self.iterations()):
+            # Deterministic rotation keeps every warp on the same line at
+            # the same phase — the maximal-collision schedule.
+            blk = PING_BASE + (it % lines)
+            for _ in range(burst):
+                if rng.random() < self.knob("p_store"):
+                    b.store(blk)
+                else:
+                    b.load(blk)
+            # Stagger turns slightly so protocol queues, not the trace,
+            # decide the interleaving.
+            b.compute(1 + (b.trace.warp_id % 3))

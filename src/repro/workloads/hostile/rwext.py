@@ -1,0 +1,48 @@
+"""RWEXT — reader/writer ratio extremes.
+
+Sweeps the read fraction to the edges no benchmark occupies: a single
+producer invalidating an arena of readers (``read_frac`` near 1), or an
+all-writers melee with no read reuse at all (near 0). Tardis 2.0's
+lease/renewal analysis predicts exactly these re-read-distance extremes
+are where lease prediction mispredicts hardest — near-1 wants maximal
+leases, near-0 makes every lease a liability.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder
+from repro.workloads.hostile.base import HOSTILE_BASE, HostileWorkload, Knob
+
+RW_BASE = HOSTILE_BASE + (1 << 13)
+
+
+class ReaderWriterExtremes(HostileWorkload):
+    name = "rwext"
+    description = ("reader/writer extremes: one producer vs an arena of "
+                   "readers, or an all-writers melee")
+    base_iterations = 24
+    KNOBS = (
+        Knob("read_frac", 0.95, 0.0, 1.0,
+             "fraction of a writer's accesses that are reads"),
+        Knob("shared_blocks", 8, 1, 256, "size of the shared arena"),
+        Knob("writers", 1, 0, 1024,
+             "warps allowed to store (0 = every warp may write)"),
+    )
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        writers = self.knob("writers")
+        gid = b.trace.core_id * cfg.warps_per_core + b.trace.warp_id
+        can_write = writers == 0 or gid < writers
+        arena = self.knob("shared_blocks")
+        for _ in range(self.iterations()):
+            blk = RW_BASE + rng.randrange(arena)
+            if can_write and rng.random() >= self.knob("read_frac"):
+                b.store(blk)
+            else:
+                b.load(blk)
+            if rng.random() < 0.25:
+                b.compute(rng.randrange(1, 12))

@@ -1,0 +1,62 @@
+"""STORM — timestamp-rollover storm.
+
+Under RCC every store to a leased block jumps the writer's logical clock
+past the lease end (paper §III-C: stores write "in the future"), so a
+write-heavy loop over a small hot set advances logical time by roughly one
+lease per store. Run against a *narrow* timestamp width (the storm
+regime's config override), that drives the rollover machinery — the
+epoch-clamp path Tardis's proof paper treats as the hard case — hundreds
+of times per run instead of the near-zero a benign workload sees.
+
+The op mix is the inverse of every paper benchmark: mostly stores, with
+just enough lease-taking loads that each store lands on a block somebody
+holds fresh, maximizing both lease jumps and (under MESI) invalidations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder
+from repro.workloads.hostile.base import HOSTILE_BASE, HostileWorkload, Knob
+
+#: Block index bases; each generator gets its own slice of the hostile
+#: region (above every benchmark model's range) so suites never alias.
+STORM_HOT = HOSTILE_BASE
+STORM_COL = STORM_HOT + 256   # per-warp private escalator columns
+
+
+class RolloverStorm(HostileWorkload):
+    name = "storm"
+    description = ("rollover storm: write-heavy traffic over a tiny hot "
+                   "set advances logical time ~a lease per store")
+    base_iterations = 48
+    KNOBS = (
+        Knob("hot_blocks", 4, 1, 64,
+             "globally shared blocks every warp hammers"),
+        Knob("p_load", 0.6, 0.0, 1.0,
+             "P(lease-taking load immediately before a hot-set store)"),
+        Knob("p_remote", 0.5, 0.0, 1.0,
+             "P(target the shared hot set vs the warp's own escalator)"),
+    )
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        hot = self.knob("hot_blocks")
+        gid = b.trace.core_id * cfg.warps_per_core + b.trace.warp_id
+        escalator = STORM_COL + gid
+        for _ in range(self.iterations()):
+            if rng.random() < self.knob("p_remote"):
+                # Shared contention: a load takes a lease, the store has
+                # to jump past it — and under MESI, an invalidation round.
+                blk = STORM_HOT + rng.randrange(hot)
+                if rng.random() < self.knob("p_load"):
+                    b.load(blk)
+                b.store(blk)
+            else:
+                # Private escalator: each (load, store) pair climbs the
+                # core's clock by ~one lease, the guaranteed engine of
+                # the storm (same ladder the rollover unit tests use).
+                b.load(escalator)
+                b.store(escalator)

@@ -1,0 +1,55 @@
+"""THRASH — huge streamed working sets that thrash the L2.
+
+Every warp strides through its own slice of a working set up to a million
+blocks wide with essentially zero reuse, so nearly every access misses
+both cache levels and the run is bounded by L2/DRAM occupancy (MSHRs, row
+misses, eviction bandwidth). A small probability of touching a shared hot
+set keeps coherence in the loop — evictions of leased/owned lines under
+capacity pressure are exactly the path the MESI recall race of PR 3 hid
+in. Latency histograms here live at the saturation edge, which is what
+flushed out the Histogram merge bug this PR fixes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import GPUConfig
+from repro.workloads.base import TraceBuilder
+from repro.workloads.hostile.base import HOSTILE_BASE, HostileWorkload, Knob
+
+THRASH_BASE = HOSTILE_BASE + (1 << 21)
+THRASH_HOT = HOSTILE_BASE + (1 << 16)
+
+#: Large prime stride decorrelates consecutive accesses from set indexing.
+_STRIDE = 9973
+
+
+class L2Thrash(HostileWorkload):
+    name = "thrash"
+    description = ("L2 thrash: near-zero-reuse streaming over a working "
+                   "set up to a million blocks")
+    base_iterations = 24
+    KNOBS = (
+        Knob("working_set", 1 << 16, 1 << 8, 1 << 20,
+             "blocks in the streamed working set"),
+        Knob("p_store", 0.3, 0.0, 1.0, "P(an access is a store)"),
+        Knob("p_shared", 0.05, 0.0, 1.0,
+             "P(touch the small shared hot set instead of the stream)"),
+    )
+
+    def build_warp(self, b: TraceBuilder, cfg: GPUConfig,
+                   rng: random.Random) -> None:
+        ws = self.knob("working_set")
+        gid = b.trace.core_id * cfg.warps_per_core + b.trace.warp_id
+        pos = (gid * 7919) % ws
+        for _ in range(self.iterations()):
+            if rng.random() < self.knob("p_shared"):
+                blk = THRASH_HOT + rng.randrange(8)
+            else:
+                pos = (pos + _STRIDE) % ws
+                blk = THRASH_BASE + pos
+            if rng.random() < self.knob("p_store"):
+                b.store(blk)
+            else:
+                b.load(blk)

@@ -1,4 +1,15 @@
-"""Workload registry — names, categories, and lookup (paper Table IV)."""
+"""Workload registry — names, categories, and lookup.
+
+Two suites live here: the paper's twelve benchmark models (Table IV;
+``WORKLOADS``, which the figure harness iterates and must stay exactly
+the paper's set) and the hostile lab's pathological generators
+(``HOSTILE_WORKLOADS``). :func:`get_workload` resolves names from both,
+and additionally understands hostile **spec strings** —
+``"storm:hot_blocks=2,p_load=0.8"`` — that carry generator knobs inline,
+so a knob-mutated hostile cell is addressable by a plain string
+everywhere a workload name flows (sweep cells, cache keys, corpus
+files).
+"""
 
 from __future__ import annotations
 
@@ -6,6 +17,8 @@ from typing import Dict, List, Type
 
 from repro.errors import ConfigError
 from repro.workloads.base import Workload
+from repro.workloads.hostile.base import HostileWorkload, parse_spec
+from repro.workloads.hostile.regimes import HOSTILE_WORKLOADS
 from repro.workloads.interwg import (
     BFS, BarnesHut, Cloth, DynamicLoadBalance, PlaceAndRoute, Stencil,
 )
@@ -33,14 +46,25 @@ WORKLOADS: Dict[str, Type[Workload]] = {
 
 def get_workload(name: str, intensity: float = 1.0,
                  seed: int = 1234) -> Workload:
-    """Instantiate a benchmark model by its Table IV short name."""
-    try:
-        cls = WORKLOADS[name.lower()]
-    except KeyError:
+    """Instantiate a workload by name or hostile spec string."""
+    base, knobs = parse_spec(name)
+    cls = WORKLOADS.get(base) or HOSTILE_WORKLOADS.get(base)
+    if cls is None:
         raise ConfigError(
-            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
-        ) from None
+            f"unknown workload {name!r}; choose from "
+            f"{sorted(WORKLOADS) + sorted(HOSTILE_WORKLOADS)}")
+    if knobs and not issubclass(cls, HostileWorkload):
+        raise ConfigError(
+            f"workload {base!r} takes no knobs (spec was {name!r}); only "
+            f"hostile workloads {sorted(HOSTILE_WORKLOADS)} are knobbed")
+    if issubclass(cls, HostileWorkload):
+        return cls(intensity=intensity, seed=seed, **knobs)
     return cls(intensity=intensity, seed=seed)
+
+
+def hostile_workloads() -> List[str]:
+    """Names of the hostile-lab generators."""
+    return sorted(HOSTILE_WORKLOADS)
 
 
 def inter_workgroup() -> List[str]:

@@ -9,7 +9,7 @@ import pytest
 from repro.config import GPUConfig, TimestampConfig
 from repro.core.rollover import RolloverManager
 from repro.gpu.trace import compute_op, load_op, store_op
-from repro.sim.gpusim import GPUSimulator
+from repro.sim.gpusim import GPUSimulator, run_simulation
 from repro.timing.engine import Engine
 from tests.conftest import program_traces
 
@@ -100,6 +100,106 @@ def test_wide_timestamps_never_roll_over():
     }), "no-rollover")
     res = sim.run()
     assert res.rollovers == 0
+
+
+class TestStormRegime:
+    """The hostile lab's rollover storm (tiny width + write-heavy) at
+    lease boundaries, run through the same narrow configs as the unit
+    tests above."""
+
+    @staticmethod
+    def _storm(cfg, intensity=1.0, seed=7, **knobs):
+        from repro.workloads import get_workload
+        spec = "storm" + ("" if not knobs else ":" + ",".join(
+            f"{k}={v}" for k, v in sorted(knobs.items())))
+        return get_workload(spec, intensity=intensity, seed=seed).generate(cfg)
+
+    def test_storm_forces_rollovers_and_completes(self):
+        cfg = narrow_cfg(bits=10, lease=64)
+        res = run_simulation(cfg, "RCC", self._storm(cfg), "storm")
+        assert res.rollovers >= 1
+        # Every warp's full trace retired: 4 warps x 48 iterations, each
+        # contributing 1 (store) to 2 (load+store) ops.
+        assert res.mem_ops >= 4 * 48
+
+    def test_storm_sanitized_across_widths(self):
+        # The storm under the invariant sanitizer at several widths near
+        # the regime's mutation range, including the narrowest allowed.
+        for bits in (10, 12):
+            cfg = narrow_cfg(bits=bits, lease=64)
+            res = run_simulation(cfg, "RCC", self._storm(cfg), "storm",
+                                 sanitize=True)
+            assert res.mem_ops > 0
+
+    def test_storm_clocks_clamped_after_rollover(self):
+        cfg = narrow_cfg(bits=10, lease=64)
+        sim = GPUSimulator(cfg, "RCC", self._storm(cfg), "storm")
+        res = sim.run()
+        assert res.rollovers >= 1
+        max_ts = cfg.ts.max_timestamp
+        for l1 in sim.proto.l1s:
+            assert l1.clock.value < max_ts
+        for l2 in sim.proto.l2s:
+            for line in l2.cache.lines():
+                assert line.ver < max_ts
+                assert line.exp < max_ts
+
+    def test_storm_values_flow_on_private_escalators(self):
+        # Each warp's escalator block is private, so under SC its final
+        # load must observe that warp's own latest store — across however
+        # many rollovers the storm forced.
+        from repro.workloads.base import BLOCK
+        from repro.workloads.hostile.storm import STORM_COL
+        cfg = narrow_cfg(bits=10, lease=64)
+        # p_remote=0 makes the trace pure escalator (load, store) pairs.
+        sim = GPUSimulator(cfg, "RCC", self._storm(cfg, p_remote=0.0),
+                           "storm", record_ops=True)
+        res = sim.run()
+        assert res.rollovers >= 1
+        checked = 0
+        for core in range(cfg.n_cores):
+            for warp in range(cfg.warps_per_core):
+                gid = core * cfg.warps_per_core + warp
+                addr = (STORM_COL + gid) * BLOCK
+                ops = sorted((op for op in res.op_logs
+                              if op.addr == addr and op.core_id == core),
+                             key=lambda o: o.issue_cycle)
+                last_written = None
+                for op in ops:
+                    if op.kind.name == "STORE":
+                        last_written = op.value
+                    elif last_written is not None:
+                        # Every load after the first store must see the
+                        # warp's own latest write (private block => sole
+                        # writer), whatever epoch the clocks are in.
+                        assert op.read_value == last_written
+                        checked += 1
+        assert checked > 0
+
+    def test_store_serializes_at_post_lease_edge(self):
+        # RCC rule 3's exact boundary: a store to a freshly leased block
+        # must version itself at post_lease(exp) == exp + 1 — strictly
+        # past the lease end, never equal to it.
+        cfg = narrow_cfg(bits=12, lease=64)
+        sim = GPUSimulator(cfg, "RCC", program_traces(cfg, {
+            (0, 0): [load_op(5 * 128), store_op(5 * 128)],
+        }), "post-lease-edge")
+        sim.run()
+        lines = [line for l2 in sim.proto.l2s
+                 for line in l2.cache.lines() if line.addr == 5 * 128]
+        assert len(lines) == 1
+        line = lines[0]
+        assert line.ver == line.exp + 1
+
+    def test_storm_post_lease_jumps_drive_the_climb(self):
+        # The escalator's whole mechanism is the post_lease jump: with
+        # stores jumping to exp+1 and a fresh 64-tick lease per load, one
+        # warp's clock climbs ~a lease per (load, store) pair, so a
+        # 10-bit clock must roll over within ~16 pairs x 4 warps.
+        cfg = narrow_cfg(bits=10, lease=64)
+        res = run_simulation(cfg, "RCC",
+                             self._storm(cfg, p_remote=0.0), "storm")
+        assert res.rollovers >= 2
 
 
 class TestRolloverManagerUnit:

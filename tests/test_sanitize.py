@@ -140,6 +140,82 @@ class TestInjectedBug:
         assert rec.read_value == "stale"
 
 
+class TestVIPerStoreTracking:
+    """Regression: the VI (store-past-lease) invariant is judged per store
+    op, not per (core, block). Found by hostile-workload fuzzing: a store
+    that issued with NO copy and merged at the L2 before any lease existed
+    is legally acked with ver=0; that stale ack must not be judged against
+    the pre-store copy a *later* store snapshotted."""
+
+    @staticmethod
+    def _suite():
+        from repro.sanitize.invariants import RCCInvariants
+        return RCCInvariants(ts_bits=16)
+
+    @staticmethod
+    def _ev(kind, seq=1, **fields):
+        return CoherenceEvent(seq, cycle=seq, kind=kind, unit="L1",
+                              unit_id=3, addr=0x1000, fields=fields)
+
+    def _feed(self, suite, kind, **fields):
+        v = suite.check(self._ev(kind, **fields))
+        assert v is None, v
+        return v
+
+    def test_pre_copy_store_ack_not_judged_against_later_snapshot(self):
+        suite = self._suite()
+        # Store op=1 issues with no readable copy (cold block).
+        self._feed(suite, EventKind.L1_STORE_ISSUE, op=1, copy_exp=None,
+                   now=0, view="write", epoch=0)
+        # The block then fills with a lease, and op=2 issues under it.
+        self._feed(suite, EventKind.L1_FILL, ver=0, exp=8, now_after=0,
+                   view="read", epoch=0)
+        self._feed(suite, EventKind.L1_STORE_ISSUE, op=2, copy_exp=8,
+                   now=0, view="write", epoch=0)
+        # op=1's ack (merged at the L2 before the lease existed) carries
+        # ver=0 — legal, and must not trip op=2's exp=8 snapshot.
+        self._feed(suite, EventKind.L1_STORE_ACK, op=1, ver=0, now_after=0,
+                   epoch=0, cur_epoch=0, view="write")
+        # op=2's own ack must still exceed its snapshot.
+        self._feed(suite, EventKind.L1_STORE_ACK, op=2, ver=9, now_after=9,
+                   epoch=0, cur_epoch=0, view="write")
+
+    def test_invariant_still_fires_for_the_matching_store(self):
+        suite = self._suite()
+        self._feed(suite, EventKind.L1_STORE_ISSUE, op=7, copy_exp=8,
+                   now=0, view="write", epoch=0)
+        v = suite.check(self._ev(EventKind.L1_STORE_ACK, op=7, ver=5,
+                                 now_after=5, epoch=0, cur_epoch=0,
+                                 view="write"))
+        assert v is not None and v.invariant == "rcc.vi.store_past_lease"
+
+    def test_renew_extends_every_outstanding_snapshot(self):
+        suite = self._suite()
+        self._feed(suite, EventKind.L1_STORE_ISSUE, op=1, copy_exp=8,
+                   now=0, view="write", epoch=0)
+        self._feed(suite, EventKind.L1_STORE_ISSUE, op=2, copy_exp=8,
+                   now=0, view="write", epoch=0)
+        self._feed(suite, EventKind.L1_RENEW, exp=16, epoch=0)
+        v = suite.check(self._ev(EventKind.L1_STORE_ACK, op=1, ver=9,
+                                 now_after=9, epoch=0, cur_epoch=0,
+                                 view="write"))
+        assert v is not None and v.invariant == "rcc.vi.store_past_lease"
+        self._feed(suite, EventKind.L1_STORE_ACK, op=2, ver=17,
+                   now_after=17, epoch=0, cur_epoch=0, view="write")
+
+    def test_fuzz_reproducer_runs_clean_end_to_end(self):
+        # The exact cell the hostile fuzzer found (also archived in
+        # tests/corpus/hostile_pingpong_rccwo_viack.cell).
+        from repro.sim.gpusim import run_simulation
+        from repro.workloads import get_workload
+        cfg = GPUConfig.small()
+        wl = get_workload("pingpong:p_store=0.0609,burst=13",
+                          intensity=0.25, seed=5996351577606141765)
+        res = run_simulation(cfg, "RCC-WO", wl.generate(cfg), wl.spec,
+                             sanitize=True)
+        assert res.mem_ops == 1248
+
+
 class TestFuzzIntegration:
     def test_runner_with_sanitizer_passes(self):
         knobs = FuzzKnobs(n_cores=2, warps_per_core=1, ops_per_warp=5,

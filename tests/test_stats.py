@@ -93,6 +93,59 @@ class TestHistogram:
         assert sum(a._buckets) == 3
         assert a.percentile(99) > 0
 
+    def test_merged_overflow_percentiles_reach_observed_max(self):
+        # Folded overflow lives in the saturation bucket, whose nominal
+        # power-of-two range tops out far below the folded samples; the
+        # bucket's effective upper bound must extend to the observed max
+        # or percentiles contradict min/max/mean.
+        a = Histogram(max_value=1 << 4)
+        a.add(12)
+        b = Histogram(max_value=1 << 10)
+        b.add(1000, count=3)
+        a.merge(b)
+        assert a.max == 1000
+        # 3 of 4 samples are 1000: p99 must land well above the
+        # saturation bucket's nominal top (31), at most at max.
+        assert 500 < a.percentile(99) <= 1000
+        assert a.percentile(50) >= 12
+        # buckets() reports the same extended bound.
+        lo, hi, n = a.buckets()[-1]
+        assert hi == 1000 and n == 3
+
+    def test_merged_overflow_all_mass_in_saturation_bucket(self):
+        # Degenerate: *every* sample folds into the saturation bucket.
+        a = Histogram(max_value=1 << 4)
+        b = Histogram(max_value=1 << 10)
+        b.add(600, count=4)
+        a.merge(b)
+        assert a.min == a.max == 600
+        # Single-valued histogram: every percentile is that value.
+        assert a.percentile(50) == 600.0
+        assert a.percentile(99) == 600.0
+
+    def test_single_bucket_histogram_merge(self):
+        # max_value=0 gives a one-bucket histogram; merging wider data
+        # must keep percentiles within [min, max], not pinned to 0.
+        c = Histogram(max_value=0)
+        c.add(0)
+        d = Histogram(max_value=1 << 6)
+        d.add(40, count=5)
+        c.merge(d)
+        assert c.count == 6
+        assert 0 <= c.percentile(50) <= 40
+        assert c.percentile(99) <= 40
+        assert c.buckets() == [(0, 40, 6)]
+
+    def test_unmerged_histogram_bounds_unchanged(self):
+        # The saturation-bucket extension must not disturb ordinary
+        # histograms: samples within max_value keep nominal bounds.
+        h = Histogram(max_value=1 << 10)
+        h.add(3)
+        h.add(700)
+        assert h.buckets()[0] == (2, 3, 1)
+        assert h.buckets()[-1] == (512, 1023, 1)
+        assert h.percentile(99) <= 700
+
 
 class TestTimeSeries:
     def test_samples_until_inactive(self):

@@ -1,0 +1,214 @@
+"""Unit tests for the hostile-workload generators and their knob/spec
+machinery (:mod:`repro.workloads.hostile`)."""
+
+import random
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import ConfigError
+from repro.workloads import (
+    HOSTILE_WORKLOADS, REGIMES, WORKLOADS, get_workload, hostile_workloads,
+)
+from repro.workloads.base import BLOCK
+from repro.workloads.hostile import (
+    HostileWorkload, Knob, get_regime, parse_spec, select_regimes,
+)
+from repro.workloads.hostile.base import HOSTILE_BASE
+from repro.workloads.hostile.storm import STORM_COL, STORM_HOT
+
+CFG = GPUConfig.small()
+
+
+# ----------------------------------------------------------------------
+# Registry separation
+# ----------------------------------------------------------------------
+def test_hostile_registry_is_separate_from_paper_suite():
+    # The paper's twelve benchmark models must stay exactly twelve; the
+    # hostile suite rides in its own registry.
+    assert len(WORKLOADS) == 12
+    assert set(HOSTILE_WORKLOADS) == {"storm", "pingpong", "rwext",
+                                      "bursty", "thrash"}
+    assert not set(HOSTILE_WORKLOADS) & set(WORKLOADS)
+    assert hostile_workloads() == sorted(HOSTILE_WORKLOADS)
+
+
+def test_get_workload_resolves_hostile_names():
+    for name in HOSTILE_WORKLOADS:
+        wl = get_workload(name, intensity=0.25, seed=3)
+        assert isinstance(wl, HostileWorkload)
+        assert wl.category == "hostile"
+
+
+def test_knobbed_spec_on_paper_workload_rejected():
+    with pytest.raises(ConfigError):
+        get_workload("bfs:hot_blocks=2")
+
+
+def test_unknown_knob_rejected():
+    with pytest.raises(ConfigError):
+        get_workload("storm:no_such_knob=1")
+
+
+def test_out_of_range_knob_rejected():
+    with pytest.raises(ConfigError):
+        get_workload("storm:hot_blocks=10000")
+
+
+def test_bad_knob_type_rejected():
+    with pytest.raises(ConfigError):
+        get_workload("storm:hot_blocks=banana")
+
+
+# ----------------------------------------------------------------------
+# Spec strings
+# ----------------------------------------------------------------------
+def test_parse_spec_splits_name_and_knobs():
+    name, knobs = parse_spec("storm:hot_blocks=2,p_load=0.8")
+    assert name == "storm"
+    assert knobs == {"hot_blocks": "2", "p_load": "0.8"}
+    assert parse_spec("bfs") == ("bfs", {})
+
+
+def test_spec_omits_default_valued_knobs():
+    assert get_workload("storm", intensity=1.0, seed=0).spec == "storm"
+    wl = get_workload("storm:hot_blocks=2", intensity=1.0, seed=0)
+    assert wl.spec == "storm:hot_blocks=2"
+
+
+def test_spec_round_trips_through_get_workload():
+    for cls in HOSTILE_WORKLOADS.values():
+        rng = random.Random(11)
+        knobs = cls.sample_knobs(rng, ())
+        spec = cls(**knobs).spec
+        wl = get_workload(spec, intensity=0.5, seed=9)
+        assert wl.spec == spec
+        for k, v in knobs.items():
+            assert wl.knob(k) == v
+
+
+def test_knob_sampling_respects_ranges():
+    rng = random.Random(0)
+    for cls in HOSTILE_WORKLOADS.values():
+        for _ in range(50):
+            knobs = cls.sample_knobs(rng, ())
+            for knob in cls.KNOBS:
+                assert knob.lo <= knobs[knob.name] <= knob.hi
+
+
+def test_log_scale_sampling_covers_orders_of_magnitude():
+    # thrash's working_set spans 2^8..2^20; log2-uniform draws must not
+    # cluster at the top.
+    knob = next(k for k in HOSTILE_WORKLOADS["thrash"].KNOBS
+                if k.name == "working_set")
+    rng = random.Random(1)
+    draws = [knob.sample(rng) for _ in range(200)]
+    assert min(draws) < 4096
+    assert max(draws) > 1 << 17
+
+
+# ----------------------------------------------------------------------
+# Generator behavior
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(HOSTILE_WORKLOADS))
+def test_generators_deterministic_under_seed(name):
+    t1 = get_workload(name, intensity=0.5, seed=5).generate(CFG)
+    t2 = get_workload(name, intensity=0.5, seed=5).generate(CFG)
+    assert [[t.ops for t in ct] for ct in t1] \
+        == [[t.ops for t in ct] for ct in t2]
+
+
+@pytest.mark.parametrize("name", sorted(HOSTILE_WORKLOADS))
+def test_generators_match_machine_shape(name):
+    traces = get_workload(name, intensity=0.25, seed=5).generate(CFG)
+    assert len(traces) == CFG.n_cores
+    assert all(len(ct) == CFG.warps_per_core for ct in traces)
+    assert sum(t.n_mem_ops for ct in traces for t in ct) > 0
+
+
+def test_hostile_block_regions_disjoint_from_paper_suite():
+    # Hostile generators address far above the benchmark models' block
+    # ranges, so mixed corpora never alias the same lines.
+    hostile_min = HOSTILE_BASE * BLOCK
+    for name in WORKLOADS:
+        traces = get_workload(name, intensity=0.25, seed=5).generate(CFG)
+        for ct in traces:
+            for t in ct:
+                for op in t.ops:
+                    addr = getattr(op, "addr", None)
+                    if addr is not None:
+                        assert addr < hostile_min
+
+
+def test_storm_escalators_are_per_warp_private():
+    traces = get_workload("storm:p_remote=0.0", intensity=0.5,
+                          seed=5).generate(CFG)
+    for core, ct in enumerate(traces):
+        for warp, t in enumerate(ct):
+            gid = core * CFG.warps_per_core + warp
+            expected = (STORM_COL + gid) * BLOCK
+            addrs = {op.addr for op in t.ops
+                     if getattr(op, "addr", None) is not None}
+            assert addrs == {expected}
+
+
+def test_rwext_writer_cap_limits_writers():
+    from repro.common.types import MemOpKind
+    traces = get_workload("rwext:writers=1,read_frac=0.5", intensity=0.5,
+                          seed=5).generate(CFG)
+    writing_gids = set()
+    for core, ct in enumerate(traces):
+        for warp, t in enumerate(ct):
+            if any(op.kind is MemOpKind.STORE for op in t.ops
+                   if hasattr(op, "kind")):
+                writing_gids.add(core * CFG.warps_per_core + warp)
+    assert writing_gids <= {0}
+
+
+def test_thrash_working_set_bounds_addresses():
+    from repro.workloads.hostile.thrash import THRASH_BASE
+    ws = 512
+    traces = get_workload(f"thrash:working_set={ws},p_shared=0.0",
+                          intensity=0.5, seed=5).generate(CFG)
+    for ct in traces:
+        for t in ct:
+            for op in t.ops:
+                addr = getattr(op, "addr", None)
+                if addr is not None:
+                    blk = addr // BLOCK
+                    assert THRASH_BASE <= blk < THRASH_BASE + ws
+
+
+# ----------------------------------------------------------------------
+# Regimes
+# ----------------------------------------------------------------------
+def test_regimes_cover_all_generators():
+    assert {r.workload for r in REGIMES.values()} == set(HOSTILE_WORKLOADS)
+
+
+def test_get_regime_and_select():
+    assert get_regime("storm").name == "storm"
+    with pytest.raises(ConfigError):
+        get_regime("nope")
+    assert [r.name for r in select_regimes("all")] == sorted(REGIMES)
+    assert [r.name for r in select_regimes("thrash,storm")] \
+        == ["thrash", "storm"]
+
+
+def test_storm_regime_pins_narrow_timestamps():
+    spec, ts = REGIMES["storm"].default_cell_inputs()
+    assert spec == "storm"
+    assert ts["bits"] == 11
+    assert ts["predictor_enabled"] is False
+
+
+def test_regime_sampling_is_seed_deterministic():
+    for name, regime in REGIMES.items():
+        a = regime.sample_cell_inputs(random.Random(42))
+        b = regime.sample_cell_inputs(random.Random(42))
+        assert a == b
+        spec, ts = a
+        get_workload(spec, intensity=0.25, seed=1)  # spec is valid
+        if regime.ts_ranges:
+            for field, (lo, hi) in regime.ts_ranges:
+                assert lo <= ts[field] <= hi
