@@ -6,7 +6,8 @@ PYPATH   := PYTHONPATH=src
 JOBS     ?= 4
 
 .PHONY: test test-fast test-exec fuzz fuzz-smoke hostile hostile-smoke \
-        sanitize bench report report-par clean-cache perf perf-baseline
+        sanitize bench report report-par clean-cache perf perf-baseline \
+        ablate ablate-smoke
 
 test:            ## tier-1: the full test suite
 	$(PYPATH) $(PY) -m pytest -x -q
@@ -48,6 +49,15 @@ perf:            ## throughput bench + regression gate vs stored baseline
 perf-baseline:   ## refresh the stored perf baseline from this machine
 	$(PYPATH) $(PY) -m repro.perf.cli --quick \
 	    --baseline benchmarks/perf_baseline.json --update-baseline
+
+ablate:          ## lease-policy ablation on the bench machine
+	$(PYPATH) $(PY) -m repro.perf.cli --lease-ablation
+
+ablate-smoke:    ## small-machine lease ablation + its test batteries
+	$(PYPATH) $(PY) -m repro.perf.cli --lease-ablation --quick \
+	    --out ablation.json
+	$(PYPATH) $(PY) -m pytest -x -q tests/test_lease_policy.py \
+	    tests/test_lease_policy_differential.py tests/test_lease_golden.py
 
 report:          ## regenerate every experiment with paper-vs-measured
 	$(PYPATH) $(PY) -m repro.harness.runner all

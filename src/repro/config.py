@@ -94,6 +94,12 @@ class TimestampConfig:
     lease_default: int = 64          # fixed lease when the predictor is off
     predictor_enabled: bool = True
     renew_enabled: bool = True
+    #: Lease-sizing strategy the L2 banks run (see
+    #: :mod:`repro.core.lease_policy`): ``fixed`` (the paper's §III-E
+    #: predictor, the default), ``adaptive`` (per-block re-read distance),
+    #: or ``pc-pred`` (PC-indexed renew predictor). Part of every sweep
+    #: cell's content key.
+    lease_policy: str = "fixed"
     #: Livelock avoidance: bump each core's logical now by 1 every N cycles
     #: (0 disables the tick).
     livelock_tick_cycles: int = 10_000
@@ -112,6 +118,13 @@ class TimestampConfig:
             raise ConfigError("timestamps narrower than 8 bits are untested")
         if self.lease_max >= self.max_timestamp:
             raise ConfigError("lease_max must be far below timestamp rollover")
+        # Imported here: lease_policy.py needs TimestampConfig at module
+        # load, so the registry lookup must stay call-time only.
+        from repro.core.lease_policy import LEASE_POLICIES
+        if self.lease_policy not in LEASE_POLICIES:
+            raise ConfigError(
+                f"unknown lease policy {self.lease_policy!r}; choose from "
+                f"{sorted(LEASE_POLICIES)}")
 
 
 @dataclass

@@ -14,8 +14,7 @@ reads — restart at the maximum, exactly as the paper wants).
 
 from __future__ import annotations
 
-from repro.config import TimestampConfig
-from repro.mem.cache_array import CacheLine
+from repro.core.lease_policy import FixedLeasePolicy
 
 _PRED_KEY = "lease_pred"
 
@@ -37,31 +36,10 @@ def post_lease(exp: int) -> int:
     return exp + 1
 
 
-class LeasePredictor:
-    """Computes the lease duration the L2 grants with each read."""
+class LeasePredictor(FixedLeasePolicy):
+    """Backward-compatible name for the paper's predictor.
 
-    def __init__(self, cfg: TimestampConfig):
-        self.cfg = cfg
-        self.enabled = cfg.predictor_enabled
-
-    def lease_for(self, line: CacheLine) -> int:
-        """Lease to grant for a read of ``line``."""
-        if not self.enabled:
-            return self.cfg.lease_default
-        return line.meta.get(_PRED_KEY, self.cfg.lease_max)
-
-    def on_write(self, line: CacheLine) -> None:
-        """The block was written: predict the minimum lease."""
-        if self.enabled:
-            line.meta[_PRED_KEY] = self.cfg.lease_min
-
-    def on_renew(self, line: CacheLine) -> None:
-        """A lease was successfully renewed: double the prediction."""
-        if not self.enabled:
-            return
-        current = line.meta.get(_PRED_KEY, self.cfg.lease_max)
-        line.meta[_PRED_KEY] = min(current * 2, self.cfg.lease_max)
-
-    def prediction(self, line: CacheLine) -> int:
-        """Current prediction (for tests/inspection)."""
-        return line.meta.get(_PRED_KEY, self.cfg.lease_max)
+    The predictor is now the ``fixed`` strategy of the pluggable
+    lease-policy layer (:mod:`repro.core.lease_policy`); this subclass
+    keeps the historical import path and behaviour (it adds nothing).
+    """

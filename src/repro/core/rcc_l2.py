@@ -35,7 +35,8 @@ from typing import Any, Dict, List, Optional
 from repro.common.messages import Message
 from repro.common.types import L2State, MsgKind
 from repro.coherence.base import L2ControllerBase
-from repro.core.lease import LeasePredictor, post_lease
+from repro.core.lease import post_lease
+from repro.core.lease_policy import make_lease_policy
 from repro.mem.cache_array import CacheLine
 from repro.sanitize.events import EventKind as EV
 from repro.timing.engine import _MASK as _RING_MASK
@@ -56,7 +57,10 @@ class RCCL2Controller(L2ControllerBase):
         super().__init__(bank_id, engine, cfg, noc, amap, dram, backing,
                          L2State.I)
         self.rollover = rollover
-        self.predictor = LeasePredictor(cfg.ts)
+        #: The pluggable lease-sizing strategy (``cfg.ts.lease_policy``).
+        #: Kept under the historical ``predictor`` name: every policy
+        #: implements the predictor interface plus the observation hooks.
+        self.predictor = make_lease_policy(cfg.ts)
         self.renew_enabled = cfg.ts.renew_enabled
         self._lease_max2 = cfg.ts.lease_max + 2
         self.frozen = False
@@ -211,20 +215,27 @@ class RCCL2Controller(L2ControllerBase):
 
     def _grant_lease(self, msg: Message, line: CacheLine, m_now: int,
                      m_exp: Optional[int]) -> None:
-        lease = self.predictor.lease_for(line)
+        pc = msg.meta.get("pc")
+        lease = self.predictor.lease_for(line, m_now, pc)
+        prev_exp = line.exp
         line.exp = max(line.exp, line.ver + lease, m_now + lease)
         line.touch()
         arrival = self.next_arrival()
         renewing = (self.renew_enabled and m_exp is not None
                     and m_exp > line.ver)
+        if m_exp is not None and m_exp <= line.ver:
+            # The requester's lease outlived the data (written since):
+            # the policy's mispredict signal, independent of renew_enabled.
+            self.predictor.on_expired_miss(line, pc)
         if self.sanitizer is not None:
             self._emit(EV.L2_RENEW_GRANT if renewing else EV.L2_READ_GRANT,
                        msg.addr, ver=line.ver, exp=line.exp, m_now=m_now,
+                       prev_exp=prev_exp, lease=lease,
                        peer=msg.src[1], epoch=self.rollover.epoch)
         if renewing:
             # The requester's copy is still current: extend, don't resend.
             self.stats.renew_grants += 1
-            self.predictor.on_renew(line)
+            self.predictor.on_renew(line, pc)
             self.send(msg.src, MsgKind.RENEW, msg.addr, exp=line.exp,
                       meta={"epoch": self.rollover.epoch, "arrival": arrival},
                       delay=self.cfg.l2_per_bank.hit_latency)
@@ -409,7 +420,9 @@ class RCCL2Controller(L2ControllerBase):
         else:
             line.value = self.read_backing(block)
         if entry.has_read:
-            lease = self.predictor.lease_for(line)
+            pc = next((m.meta.get("pc") for m in entry.waiting_loads
+                       if m.meta.get("pc") is not None), None)
+            lease = self.predictor.lease_for(line, entry.lastrd, pc)
             line.exp = max(line.ver + lease, entry.lastrd + lease)
         if self.sanitizer is not None:
             self._emit(EV.L2_FILL, block, ver=line.ver, exp=line.exp,

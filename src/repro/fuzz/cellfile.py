@@ -33,8 +33,17 @@ CELL_SCHEMA = 1
 
 def cell_to_json(cell: SimCell, config_name: str, reason: str = "",
                  expect: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-    """The JSON document a ``.cell`` file holds."""
-    return {
+    """The JSON document a ``.cell`` file holds.
+
+    The lease policy, though it travels inside ``ts_overrides`` like any
+    other timestamp knob, is promoted to an optional top-level
+    ``lease_policy`` field so reproducer files state the policy they were
+    found under at a glance. Files without the field (every pre-policy
+    corpus entry) parse unchanged.
+    """
+    overrides = dict(cell.ts_overrides)
+    policy = overrides.pop("lease_policy", None)
+    doc = {
         "schema": CELL_SCHEMA,
         "kind": "hostile-cell",
         "config": config_name,
@@ -42,10 +51,13 @@ def cell_to_json(cell: SimCell, config_name: str, reason: str = "",
         "workload": cell.workload,
         "intensity": cell.intensity,
         "seed": cell.seed,
-        "ts_overrides": [[k, v] for k, v in cell.ts_overrides],
+        "ts_overrides": [[k, v] for k, v in sorted(overrides.items())],
         "reason": reason,
         "expect": expect or {},
     }
+    if policy is not None:
+        doc["lease_policy"] = policy
+    return doc
 
 
 def save_cell(path: str, cell: SimCell, config_name: str,
@@ -66,14 +78,18 @@ def load_cell(path: str) -> Tuple[SimCell, Dict[str, Any]]:
             f"{path}: not a v{CELL_SCHEMA} hostile-cell file "
             f"(schema={doc.get('schema')!r}, kind={doc.get('kind')!r})")
     cfg: GPUConfig = named_config(doc["config"])
+    overrides = {k: v for k, v in doc.get("ts_overrides", [])}
+    # Optional since schema 1: the promoted lease-policy field folds back
+    # into the timestamp overrides it came from.
+    if "lease_policy" in doc:
+        overrides["lease_policy"] = doc["lease_policy"]
     cell = SimCell(
         cfg=cfg,
         protocol=doc["protocol"],
         workload=doc["workload"],
         intensity=float(doc["intensity"]),
         seed=int(doc["seed"]),
-        ts_overrides=canonical_overrides(
-            {k: v for k, v in doc.get("ts_overrides", [])}),
+        ts_overrides=canonical_overrides(overrides),
     )
     return cell, doc
 

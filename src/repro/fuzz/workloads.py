@@ -246,7 +246,8 @@ def _baseline_medians(baseline: Optional[Dict[str, Any]]
 
 
 def plan_cells(regimes: Sequence[HostileRegime], runs: int, seed: int,
-               cfg: GPUConfig, protocols: Sequence[str]
+               cfg: GPUConfig, protocols: Sequence[str],
+               ts_pins: Optional[Dict[str, Any]] = None
                ) -> List[Tuple[HostileRegime, SimCell]]:
     """The campaign grid: ``runs`` mutation draws round-robined across
     regimes, each paired with a protocol and intensity from the ladder.
@@ -256,6 +257,11 @@ def plan_cells(regimes: Sequence[HostileRegime], runs: int, seed: int,
     campaign is reproducible from its command line alone. Draw 0 of each
     regime is the *unmutated* center point, guaranteeing the five
     canonical regimes themselves are always covered.
+
+    ``ts_pins`` force timestamp fields on every planned cell *after* the
+    mutation draw (``--lease-policy`` pins the policy campaign-wide this
+    way); the draw stream itself is unaffected, so a pinned campaign
+    visits the same knob points as an unpinned one.
     """
     import random
 
@@ -268,6 +274,8 @@ def plan_cells(regimes: Sequence[HostileRegime], runs: int, seed: int,
             spec, ts = regime.default_cell_inputs()
         else:
             spec, ts = regime.sample_cell_inputs(rng)
+        if ts_pins:
+            ts.update(ts_pins)
         protocol = protocols[rng.randrange(len(protocols))]
         intensity = _INTENSITIES[rng.randrange(len(_INTENSITIES))]
         cell = SimCell(cfg=cfg, protocol=protocol, workload=spec,
@@ -337,16 +345,20 @@ def run_hostile_campaign(
         executor: Optional[SweepExecutor] = None,
         calibration: Optional[float] = None,
         on_run: Optional[Callable[[int, "HostileRun"], None]] = None,
+        lease_policy: Optional[str] = None,
 ) -> HostileCampaignResult:
     """Run one workload-knob fuzz campaign; see the module docstring.
 
     The sanitizer env toggle is set in the parent around the executor
     call so forked workers inherit it — every hostile run executes with
-    invariant checking on, whatever the jobs count.
+    invariant checking on, whatever the jobs count. ``lease_policy``
+    pins one policy on every run (otherwise each draw samples a policy
+    from the regime's ``ts_choices``).
     """
     regime_list = select_regimes(regimes)
     cfg = named_config(config_name)
-    planned = plan_cells(regime_list, runs, seed, cfg, protocols)
+    ts_pins = {"lease_policy": lease_policy} if lease_policy else None
+    planned = plan_cells(regime_list, runs, seed, cfg, protocols, ts_pins)
     executor = executor or SweepExecutor(jobs=1)
     if calibration is None:
         calibration = calibrate()

@@ -30,6 +30,7 @@ import time
 from typing import List, Optional, Tuple
 
 from repro.config import GPUConfig
+from repro.core.lease_policy import available_lease_policies
 from repro.exec import ResultCache, SweepExecutor
 from repro.sanitize.sanitizer import ENV_SANITIZE, ENV_TRACE_OUT
 from repro.harness.experiments import ALL_EXPERIMENTS, ExperimentResult, \
@@ -54,6 +55,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--paper-config", action="store_true",
                    help="use the full Table III machine (16 SMs x 48 warps; "
                         "slow in this Python simulator)")
+    p.add_argument("--lease-policy", default=None,
+                   choices=available_lease_policies(),
+                   help="RCC lease-sizing policy for every experiment "
+                        "(default: the config's, i.e. 'fixed')")
     p.add_argument("--report", metavar="FILE",
                    help="also write a markdown report to FILE")
     p.add_argument("--jobs", type=int, default=None,
@@ -121,6 +126,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.trace_out:
             os.environ[ENV_TRACE_OUT] = args.trace_out
     cfg = GPUConfig.paper() if args.paper_config else GPUConfig.bench()
+    if args.lease_policy:
+        import dataclasses
+        cfg = cfg.replace(
+            ts=dataclasses.replace(cfg.ts, lease_policy=args.lease_policy))
     intensity = 0.1 if args.quick else args.intensity
     harness = Harness(cfg=cfg, intensity=intensity, seed=args.seed,
                       executor=make_executor(args))

@@ -17,9 +17,20 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.config import GPUConfig
+from repro.core.lease_policy import available_lease_policies
 from repro.exec import SimCell, run_cell
 
 BENCH_SCHEMA = 1
+
+ABLATION_SCHEMA = 1
+
+#: Protocols × workloads of the lease-policy ablation: both RCC variants
+#: (the only protocols a lease policy can affect) on workloads spanning
+#: the sharing spectrum — graph traversal (bfs), stencil (stn), and the
+#: lock-heavy dynamic load balancer (dlb), the paper's renew-pressure
+#: extremes in Fig. 9.
+_ABLATION_PROTOCOLS = ("RCC", "RCC-WO")
+_ABLATION_WORKLOADS = ("bfs", "stn", "dlb")
 
 #: Cells for ``--quick`` mode (CI smoke): the small machine keeps each
 #: cell under a second while still exercising all four protocol families
@@ -153,6 +164,102 @@ def run_bench(quick: bool = False,
         report["totals"]["speedup_vs_legacy"] = round(
             legacy_wall / total_wall, 3)
     return report
+
+
+def ablation_cells(quick: bool = False,
+                   policies: Optional[List[str]] = None,
+                   workloads: Optional[List[str]] = None) -> List[SimCell]:
+    """The lease-ablation grid: policies × RCC variants × workloads.
+
+    The policy rides in ``ts_overrides`` (even for ``fixed``), so every
+    cell's content key names its policy and cached results never alias
+    across policies."""
+    cfg = GPUConfig.small() if quick else GPUConfig.bench()
+    policies = policies or available_lease_policies()
+    workloads = list(workloads or _ABLATION_WORKLOADS)
+    return [
+        SimCell(cfg=cfg, protocol=proto, workload=wl,
+                ts_overrides=(("lease_policy", policy),))
+        for policy in policies
+        for proto in _ABLATION_PROTOCOLS
+        for wl in workloads
+    ]
+
+
+def run_lease_ablation(quick: bool = False,
+                       policies: Optional[List[str]] = None,
+                       workloads: Optional[List[str]] = None,
+                       intensity: Optional[float] = None) -> Dict[str, Any]:
+    """Fig. 9-style lease-policy ablation report.
+
+    For every (policy, protocol, workload) cell: simulated runtime,
+    renew traffic (L2 renew grants + L1 renews received), expired-load
+    count, SC stall cycles per memory op, and wall-clock events/s. The
+    report groups per policy so the rendering and EXPERIMENTS.md table
+    read straight off it.
+    """
+    cells = ablation_cells(quick=quick, policies=policies,
+                           workloads=workloads)
+    if intensity is not None:
+        import dataclasses
+        cells = [dataclasses.replace(c, intensity=intensity) for c in cells]
+    calibration = calibrate()
+    report: Dict[str, Any] = {
+        "schema": ABLATION_SCHEMA,
+        "kind": "lease-ablation",
+        "mode": "quick" if quick else "full",
+        "calibration_loops_per_s": round(calibration, 1),
+        "policies": {},
+    }
+    for cell in cells:
+        policy = cell.lease_policy
+        t0 = time.perf_counter()
+        result = run_cell(cell)
+        wall = time.perf_counter() - t0
+        mem_ops = result.mem_ops or 0
+        renew_traffic = (getattr(result, "l2_renew_grants", 0) or 0) \
+            + (getattr(result, "l1_renews", 0) or 0)
+        entry = {
+            "cycles": result.cycles,
+            "mem_ops": mem_ops,
+            "l2_renew_grants": getattr(result, "l2_renew_grants", 0) or 0,
+            "l1_renews": getattr(result, "l1_renews", 0) or 0,
+            "renew_traffic": renew_traffic,
+            "renews_per_kop": round(1000.0 * renew_traffic / mem_ops, 2)
+            if mem_ops else 0.0,
+            "l1_load_expired": getattr(result, "l1_load_expired", 0) or 0,
+            "sc_stall_cycles": result.sc_stall_cycles,
+            "stall_cycles_per_op": round(
+                result.sc_stall_cycles / mem_ops, 3) if mem_ops else 0.0,
+            "wall_s": round(wall, 6),
+            "events": result.events_fired,
+            "events_per_s": round(result.events_fired / wall, 1)
+            if wall > 0 else 0.0,
+            "events_per_s_normalized": round(
+                result.events_fired / wall / calibration, 6)
+            if wall > 0 else 0.0,
+        }
+        label = f"{cell.protocol}/{cell.workload}"
+        report["policies"].setdefault(policy, {})[label] = entry
+    return report
+
+
+def render_ablation(report: Dict[str, Any]) -> str:
+    """Fixed-width table of the ablation report, one row per cell."""
+    lines = [
+        f"lease-policy ablation ({report['mode']} mode, calibration "
+        f"{report['calibration_loops_per_s'] / 1e6:.2f}M loops/s)",
+        f"  {'policy':<10} {'cell':<12} {'cycles':>10} {'renew/kop':>10} "
+        f"{'expired':>8} {'stall/op':>9} {'ev/s':>9}",
+    ]
+    for policy in sorted(report["policies"]):
+        for label, e in report["policies"][policy].items():
+            lines.append(
+                f"  {policy:<10} {label:<12} {e['cycles']:>10} "
+                f"{e['renews_per_kop']:>10.2f} {e['l1_load_expired']:>8} "
+                f"{e['stall_cycles_per_op']:>9.3f} "
+                f"{e['events_per_s'] / 1e3:>8.1f}k")
+    return "\n".join(lines)
 
 
 def compare_to_baseline(current: Dict[str, Any], baseline: Dict[str, Any],

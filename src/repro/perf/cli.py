@@ -17,7 +17,8 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.perf.bench import compare_to_baseline, run_bench
+from repro.perf.bench import (compare_to_baseline, render_ablation,
+                              run_bench, run_lease_ablation)
 
 
 def _default_out() -> str:
@@ -66,10 +67,34 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="re-run each cell on the legacy heap engine "
                              "and report the speedup (asserts identical "
                              "result payloads)")
+    parser.add_argument("--lease-ablation", action="store_true",
+                        help="run the lease-policy ablation instead of the "
+                             "throughput suite: every registered policy x "
+                             "RCC/RCC-WO x three workloads, reporting "
+                             "renew traffic, stall cycles/op, and events/s "
+                             "(Fig. 9-style; --quick for the small machine)")
+    parser.add_argument("--intensity", type=float, default=None,
+                        help="with --lease-ablation: workload scale factor "
+                             "(default: the cells' own, 0.25)")
     args = parser.parse_args(argv)
 
     if (args.check or args.update_baseline) and not args.baseline:
         parser.error("--check/--update-baseline require --baseline")
+    if args.lease_ablation and (args.check or args.update_baseline
+                                or args.compare_legacy):
+        parser.error("--lease-ablation does not combine with baseline or "
+                     "legacy-engine modes")
+
+    if args.lease_ablation:
+        report = run_lease_ablation(quick=args.quick,
+                                    intensity=args.intensity)
+        print(render_ablation(report))
+        out = args.out or f"ABLATION_{datetime.date.today().isoformat()}.json"
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {out}")
+        return 0
 
     report = run_bench(quick=args.quick, compare_legacy=args.compare_legacy)
     print(_render(report))

@@ -65,8 +65,11 @@ class RCCInvariants(InvariantSuite):
 
     name = "rcc"
 
-    def __init__(self, ts_bits: int):
+    def __init__(self, ts_bits: int, lease_max: Optional[int] = None):
         self.ts_limit = 1 << ts_bits
+        #: Configured lease ceiling; ``None`` (e.g. a directly constructed
+        #: suite) skips the policy-ceiling check on grants.
+        self.lease_max = lease_max
         #: (core, view) -> (epoch, last observed logical now)
         self._clock: Dict[Tuple[int, str], Tuple[int, int]] = {}
         #: block -> (epoch, last observed version at the L2)
@@ -244,6 +247,25 @@ class RCCInvariants(InvariantSuite):
                 f"not cover the requester's now={m_now}",
                 "§III-C: the extended lease covers the reader "
                 "(exp >= max(ver, M.now) + lease)")
+        prev_exp = ev.get("prev_exp")
+        if self.lease_max is not None and prev_exp is not None:
+            # Any *extension* this grant performed is bounded by the
+            # configured lease ceiling. The comparison is against
+            # max(prev_exp, ...) — not the fresh window alone — because a
+            # previous grant to a higher-clock requester can legally leave
+            # exp beyond a later low-clock requester's own window.
+            ceiling = max(prev_exp, max(ver, m_now) + self.lease_max)
+            if exp > ceiling:
+                return Violation(
+                    "rcc.grant.policy_ceiling",
+                    f"L2[{ev.unit_id}] grant on 0x{ev.addr:x} stretched "
+                    f"exp to {exp}, past prev_exp={prev_exp} and "
+                    f"max(ver={ver}, m_now={m_now}) + lease_max="
+                    f"{self.lease_max}",
+                    "§III-D/E: every lease decision stays within "
+                    "lease_max — the rollover guard band is sized from "
+                    "it, so a longer grant can overflow the timestamp "
+                    "width between rollover checks")
         return None
 
     def _on_write_apply(self, ev: CoherenceEvent) -> Optional[Violation]:
@@ -558,13 +580,13 @@ class CrossProtocolInvariants(InvariantSuite):
 # Suite selection
 # ----------------------------------------------------------------------
 
-def suites_for(protocol: str, ts_bits: int, strong_tc: bool = True
-               ) -> List[InvariantSuite]:
+def suites_for(protocol: str, ts_bits: int, strong_tc: bool = True,
+               lease_max: Optional[int] = None) -> List[InvariantSuite]:
     """The invariant suites to run for ``protocol``. Unknown (test-injected)
     protocols get the cross-protocol suite only."""
     suites: List[InvariantSuite] = []
     if protocol in ("RCC", "RCC-WO"):
-        suites.append(RCCInvariants(ts_bits))
+        suites.append(RCCInvariants(ts_bits, lease_max=lease_max))
     elif protocol in ("TCS", "TCW"):
         suites.append(TCInvariants(strong=protocol == "TCS"))
     elif protocol in ("MESI", "SC-IDEAL"):

@@ -50,7 +50,8 @@ class Sanitizer:
         self.protocol = protocol
         self.trace_out = trace_out
         self.ring = TraceRing(ring_depth)
-        self.suites = suites_for(protocol, ts_bits=cfg.ts.bits)
+        self.suites = suites_for(protocol, ts_bits=cfg.ts.bits,
+                                 lease_max=cfg.ts.lease_max)
         self.events_seen = 0
         self._seq = 0
 

@@ -92,3 +92,52 @@ def test_events_fired_in_result_payload():
     payload = result.to_payload()
     assert payload["payload_version"] >= 2
     assert payload["events_fired"] == result.events_fired > 0
+
+
+# ----------------------------------------------------------------------
+# Lease-policy ablation
+# ----------------------------------------------------------------------
+
+def test_lease_ablation_report_shape():
+    report = bench.run_lease_ablation(quick=True, workloads=["bfs"])
+    assert report["kind"] == "lease-ablation"
+    assert set(report["policies"]) == {"fixed", "adaptive", "pc-pred"}
+    for policy, cells in report["policies"].items():
+        assert set(cells) == {"RCC/bfs", "RCC-WO/bfs"}
+        for entry in cells.values():
+            assert entry["mem_ops"] > 0 and entry["cycles"] > 0
+            assert entry["renew_traffic"] == \
+                entry["l2_renew_grants"] + entry["l1_renews"]
+            assert entry["events_per_s_normalized"] > 0
+    rendered = bench.render_ablation(report)
+    assert "lease-policy ablation" in rendered
+    assert "adaptive" in rendered and "pc-pred" in rendered
+
+
+def test_ablation_cells_carry_policy_in_overrides():
+    cells = bench.ablation_cells(quick=True, workloads=["bfs", "stn"])
+    # 3 policies x 2 protocols x 2 workloads, each naming its policy in
+    # ts_overrides so the result cache keys them apart.
+    assert len(cells) == 12
+    assert {c.lease_policy for c in cells} == {"fixed", "adaptive",
+                                               "pc-pred"}
+    for cell in cells:
+        assert ("lease_policy", cell.lease_policy) in cell.ts_overrides
+        assert cell.effective_cfg().ts.lease_policy == cell.lease_policy
+
+
+def test_cli_lease_ablation_quick(tmp_path, capsys):
+    out = tmp_path / "ablation.json"
+    assert perf_main(["--lease-ablation", "--quick",
+                      "--out", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert report["kind"] == "lease-ablation"
+    assert "RCC/dlb" in report["policies"]["fixed"]
+    captured = capsys.readouterr()
+    assert "lease-policy ablation" in captured.out
+
+
+def test_cli_lease_ablation_rejects_baseline_modes(tmp_path):
+    with pytest.raises(SystemExit):
+        perf_main(["--lease-ablation", "--check",
+                   "--baseline", str(tmp_path / "b.json")])
