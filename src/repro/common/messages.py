@@ -10,7 +10,6 @@ traffic figures (Fig. 9c) are broken down.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.common.types import MsgKind
@@ -22,10 +21,15 @@ _msg_ids = itertools.count()
 CONTROL_FLITS = 2
 
 
-@dataclass(slots=True)
 class Message:
     """A single coherence message travelling between an L1, an L2 bank,
     or a memory partition.
+
+    Hand-written rather than a dataclass: one Message is allocated per
+    hop of every coherence transaction, and the generated ``__init__``
+    (two ``default_factory`` calls, an eager ``meta`` dict that most
+    control messages never touch) was measurable in the event loop. The
+    ``meta`` dict is materialized on first access instead.
 
     Attributes
     ----------
@@ -47,17 +51,36 @@ class Message:
         Protocol-private payload (e.g. MESI sharer lists on invalidate acks).
     """
 
-    kind: MsgKind
-    addr: int
-    src: Any
-    dst: Any
-    now: Optional[int] = None
-    exp: Optional[int] = None
-    ver: Optional[int] = None
-    value: Any = None
-    warp_ref: Any = None
-    meta: Dict[str, Any] = field(default_factory=dict)
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    __slots__ = ("kind", "addr", "src", "dst", "now", "exp", "ver", "value",
+                 "warp_ref", "_meta", "msg_id")
+
+    def __init__(self, kind: MsgKind, addr: int, src: Any, dst: Any,
+                 now: Optional[int] = None, exp: Optional[int] = None,
+                 ver: Optional[int] = None, value: Any = None,
+                 warp_ref: Any = None,
+                 meta: Optional[Dict[str, Any]] = None):
+        self.kind = kind
+        self.addr = addr
+        self.src = src
+        self.dst = dst
+        self.now = now
+        self.exp = exp
+        self.ver = ver
+        self.value = value
+        self.warp_ref = warp_ref
+        self._meta = meta
+        self.msg_id = next(_msg_ids)
+
+    @property
+    def meta(self) -> Dict[str, Any]:
+        m = self._meta
+        if m is None:
+            m = self._meta = {}
+        return m
+
+    @meta.setter
+    def meta(self, value: Dict[str, Any]) -> None:
+        self._meta = value
 
     def flits(self, block_bytes: int = 128, flit_bytes: int = 4) -> int:
         """Number of flits this message occupies on a link."""

@@ -10,6 +10,16 @@ slow a sweep down but never change its results.
 
 Writes are atomic (temp file + ``os.replace``) so a crashed or killed
 run cannot leave a half-written entry behind for the next one to trip on.
+
+The cache is size-bounded: after each write the directory is trimmed to
+at most ``max_entries`` files and ``max_bytes`` total payload,
+oldest-mtime entries first (content-addressed entries have no better
+recency signal than their write time, and a re-computed cell rewrites
+its file, refreshing it). Bounds default to
+:data:`DEFAULT_MAX_ENTRIES` / :data:`DEFAULT_MAX_BYTES` and can be set
+per-instance or via ``RCC_CACHE_MAX_ENTRIES`` / ``RCC_CACHE_MAX_BYTES``
+(``0`` disables a bound). Hit/miss/eviction counters are surfaced in
+the sweep summary line (:class:`repro.exec.engine.SweepStats`).
 """
 
 from __future__ import annotations
@@ -28,13 +38,39 @@ DEFAULT_CACHE_DIR = ".rcc-cache"
 #: Bumped if the cache *file* envelope (not the result payload) changes.
 CACHE_FORMAT = 1
 
+#: Default size bounds. A full ``rcc-repro all`` sweep is a few hundred
+#: cells of a few tens of KiB each, so these allow many sweeps' worth of
+#: distinct configurations before anything is dropped.
+DEFAULT_MAX_ENTRIES = 4096
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
 
 class ResultCache:
     """Content-addressed store of :class:`SimResult` payloads."""
 
-    def __init__(self, root: Optional[str] = None):
+    def __init__(self, root: Optional[str] = None,
+                 max_entries: Optional[int] = None,
+                 max_bytes: Optional[int] = None):
         self.root = root or os.environ.get("RCC_CACHE_DIR",
                                            DEFAULT_CACHE_DIR)
+        if max_entries is None:
+            max_entries = _env_int("RCC_CACHE_MAX_ENTRIES",
+                                   DEFAULT_MAX_ENTRIES)
+        if max_bytes is None:
+            max_bytes = _env_int("RCC_CACHE_MAX_BYTES", DEFAULT_MAX_BYTES)
+        #: Maximum entry count / total bytes; ``<= 0`` disables the bound.
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -100,6 +136,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._enforce_bound()
         return True
 
     def clear(self) -> None:
@@ -107,6 +144,47 @@ class ResultCache:
         shutil.rmtree(self.root, ignore_errors=True)
 
     # ------------------------------------------------------------------
+    def _enforce_bound(self) -> None:
+        """Trim the cache directory back under its size bounds.
+
+        Entries are dropped oldest mtime first (path as tiebreak, for
+        deterministic behavior when a filesystem's timestamps are
+        coarse). Runs after every write; the scan is O(entries), which
+        is trivial next to the simulation a write represents.
+        """
+        max_entries = self.max_entries
+        max_bytes = self.max_bytes
+        if max_entries <= 0 and max_bytes <= 0:
+            return
+        entries = []  # (mtime_ns, path, size)
+        total = 0
+        try:
+            it = os.scandir(self.root)
+        except OSError:
+            return
+        with it:
+            for de in it:
+                if not de.name.endswith(".json"):
+                    continue
+                try:
+                    st = de.stat()
+                except OSError:
+                    continue
+                entries.append((st.st_mtime_ns, de.path, st.st_size))
+                total += st.st_size
+        count = len(entries)
+        if not ((max_entries > 0 and count > max_entries)
+                or (max_bytes > 0 and total > max_bytes)):
+            return
+        entries.sort()
+        for _, path, size in entries:
+            if ((max_entries <= 0 or count <= max_entries)
+                    and (max_bytes <= 0 or total <= max_bytes)):
+                break
+            self._evict(path)
+            count -= 1
+            total -= size
+
     def _evict(self, path: str) -> None:
         try:
             os.unlink(path)

@@ -70,6 +70,11 @@ class SweepStats:
     wall: float = 0.0
     mode: str = "serial"
     jobs: int = 1
+    #: Result-cache traffic attributable to this sweep (deltas of the
+    #: cache's cumulative counters); None when no cache was attached.
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
+    cache_evictions: Optional[int] = None
     #: Per computed cell wall time, in submission order.
     cell_times: List[float] = field(default_factory=list)
     #: Per computed cell simulation throughput (engine events per second
@@ -109,6 +114,11 @@ class SweepStats:
             p95 = _percentile(self.cell_eps, 95)
             line += (f"; events/s p50 {p50 / 1000:.0f}k"
                      f" p95 {p95 / 1000:.0f}k")
+        if self.cache_hits is not None:
+            line += (f"; cache {self.cache_hits} hit"
+                     f"/{self.cache_misses} miss")
+            if self.cache_evictions:
+                line += f"/{self.cache_evictions} evicted"
         line += f"; mode={self.mode} jobs={self.jobs}]"
         return line
 
@@ -141,6 +151,9 @@ class SweepExecutor:
         pool (or serially) and written back to the cache.
         """
         t0 = time.perf_counter()
+        cache = self.cache
+        counters0 = ((cache.hits, cache.misses, cache.evictions)
+                     if cache is not None else None)
         results: List[Optional[SimResult]] = [None] * len(cells)
         keys: List[Optional[str]] = [None] * len(cells)
         pending: List[int] = []
@@ -173,6 +186,10 @@ class SweepExecutor:
         stats.n_cells = len(cells)
         stats.n_cached = len(cells) - len(pending)
         stats.wall = time.perf_counter() - t0
+        if counters0 is not None:
+            stats.cache_hits = cache.hits - counters0[0]
+            stats.cache_misses = cache.misses - counters0[1]
+            stats.cache_evictions = cache.evictions - counters0[2]
         if self.on_summary is not None:
             self.on_summary(stats.render())
         return results

@@ -30,10 +30,18 @@ from repro.gpu.warp import MemOpRecord, Warp
 from repro.stats.histogram import Histogram
 from repro.timing.engine import Engine
 
-#: ``busy_until`` park sentinel: far beyond any reachable cycle. Set when a
-#: warp finishes its trace or parks at a barrier, so the issue scan rejects
-#: it with a single compare instead of the full three-condition test.
+#: Park sentinel in the core's flat ``_busy`` column: far beyond any
+#: reachable cycle. Set when a warp finishes its trace or parks at a
+#: barrier, so the issue scan rejects it with a single list load + compare.
 _NEVER = 1 << 62
+
+#: Policy-park sentinel: the warp is blocked on its own outstanding access
+#: under an inlined (SC/WO) consistency gate, with the stall interval
+#: already stamped — rescanning it every cycle until the access completes
+#: would re-derive the same "blocked" answer, so it parks and the next
+#: ``mem_op_done`` unparks it. Distinct from ``_NEVER`` so a completion
+#: never un-parks a compute-busy, barrier-parked, or finished warp.
+_BLOCKED = _NEVER + 1
 
 
 class CoreStats:
@@ -77,6 +85,13 @@ class GPUCore:
         self.engine = engine
         self.policy = policy
         self.warps = [Warp(t) for t in traces]
+        for idx, w in enumerate(self.warps):
+            w.idx = idx
+        #: Flat busy/park column, indexed by ``warp.idx``: the cycle until
+        #: which the warp cannot issue (``_NEVER`` = parked). Owned by the
+        #: core so the per-cycle scan rejects on a list load instead of a
+        #: warp attribute chain.
+        self._busy = [0 if w.n_ops else _NEVER for w in self.warps]
         for t in traces:
             t.validate(len(traces))
         self.l1 = None  # attached by the simulator after construction
@@ -154,6 +169,7 @@ class GPUCore:
         wo_fast = self._wo_fast
         wo_max = self._wo_max
         stats = self.stats
+        busy = self._busy
         schedule_call = self.engine.schedule_call
         compute_kind = MemOpKind.COMPUTE
         barrier_kind = MemOpKind.BARRIER
@@ -162,23 +178,17 @@ class GPUCore:
             j = rr + i
             if j >= n:
                 j -= n
-            warp = warps[j]
-            # ``busy_until`` doubles as the scan's single park gate: finished
-            # and barrier-parked warps hold the ``_NEVER`` sentinel, so the
-            # common rejection is one compare. The pc/barrier tests remain as
-            # the authoritative (and historically ordered) conditions; all
-            # three are pure reads, so evaluating busy first is unobservable.
-            if warp.busy_until > now:
+            # The flat busy column is the scan's single park gate: finished,
+            # barrier-parked, and policy-blocked warps hold a sentinel, so
+            # the common rejection is one list load + compare without ever
+            # touching the warp object. The pc/barrier tests remain as the
+            # authoritative (and historically ordered) conditions; all are
+            # pure reads, so evaluating busy first is unobservable.
+            if busy[j] > now:
                 continue
+            warp = warps[j]
             pc = warp.pc
             if pc >= warp.n_ops or warp.at_barrier is not None:
-                continue
-            if (sc_fast and warp.stall_start is not None and warp.outstanding
-                    and not warp.fence_pending):
-                # Already-stamped SC stall: under the one-outstanding-op
-                # policy the gate below would fail again and do nothing, so
-                # skip the op fetch entirely. (Not valid for WO, whose gate
-                # can reopen while the stamp is still in place.)
                 continue
             op = warp.ops[pc]
             kind = op.kind
@@ -189,11 +199,11 @@ class GPUCore:
                     continue
                 warp.pc = pc + 1
                 until = now + op.cycles
-                warp.busy_until = until
+                busy[j] = until
                 stats.issued_instructions += 1
                 schedule_call(until, self.wake)
                 if warp.pc >= warp.n_ops:
-                    warp.busy_until = _NEVER
+                    busy[j] = _NEVER
                 issued = True
                 self._rr_next = rr = j + 1 if j + 1 < n else 0
                 continue
@@ -204,7 +214,7 @@ class GPUCore:
                     continue
                 warp.pc = pc + 1
                 warp.at_barrier = op.barrier_id
-                warp.busy_until = _NEVER  # parked until the barrier releases
+                busy[j] = _NEVER  # parked until the barrier releases
                 stats.issued_instructions += 1
                 self._maybe_release_barrier(op.barrier_id)
                 issued = True
@@ -223,13 +233,18 @@ class GPUCore:
             # Global memory op: gate through the consistency policy. The
             # gate runs (and stamps the stall interval) even when the issue
             # slot is taken — stall attribution must start the cycle the
-            # warp first became blocked, not the cycle it got a slot.
+            # warp first became blocked, not the cycle it got a slot. Under
+            # the inlined SC/WO gates a blocked warp then parks: the gate
+            # cannot reopen before one of its own accesses completes, and
+            # ``mem_op_done`` unparks it that cycle, so the re-scan it
+            # skips would have re-derived "blocked" every time.
             if sc_fast:
                 outstanding = warp.outstanding
                 if outstanding:
                     if warp.stall_start is None:
                         warp.stall_start = now
                         warp.stall_blocker = outstanding[0].kind
+                    busy[j] = _BLOCKED
                     continue
             elif wo_fast:
                 outstanding = warp.outstanding
@@ -238,6 +253,8 @@ class GPUCore:
                         warp.stall_start = now
                         warp.stall_blocker = (outstanding[0].kind
                                               if outstanding else None)
+                    if outstanding:
+                        busy[j] = _BLOCKED
                     continue
             else:
                 ok, blocker = self.policy.can_issue_mem(warp)
@@ -276,7 +293,7 @@ class GPUCore:
         block_until = self.l1.fence_block_until(warp)
         if block_until > now:
             # Protocol-imposed visibility wait (TC-weak's GWCT).
-            warp.busy_until = block_until
+            self._busy[warp.idx] = block_until
             self.engine.schedule_call(block_until, self.wake)
             return "blocked"
         if not can_issue:
@@ -288,7 +305,7 @@ class GPUCore:
         warp.fence_pending = False
         warp.pc += 1
         if warp.pc >= warp.n_ops:
-            warp.busy_until = _NEVER
+            self._busy[warp.idx] = _NEVER
         self.stats.issued_instructions += 1
         self.l1.on_fence_retire(warp)
         return "issued"
@@ -327,7 +344,7 @@ class GPUCore:
             warp.stall_blocker = None
         warp.pc += 1
         if warp.pc >= warp.n_ops:
-            warp.busy_until = _NEVER
+            self._busy[warp.idx] = _NEVER
         warp.outstanding.append(record)
         self.stats.issued_instructions += 1
         self.stats.mem_ops += 1
@@ -352,6 +369,11 @@ class GPUCore:
         stats.latency_hist[kind].add(latency)
         if self.record_log:
             self.op_log.append(record)
+        # The completion is what re-opens an inlined SC/WO policy gate, so
+        # it owns the unpark. Only the policy-park sentinel is cleared —
+        # compute-busy, barrier-parked, and finished warps stay put.
+        if self._busy[warp.idx] == _BLOCKED:
+            self._busy[warp.idx] = 0
         # wake(), inlined (hot: one call per completed memory op).
         if not self._tick_scheduled and not self._finished:
             self._tick_scheduled = True
@@ -366,13 +388,14 @@ class GPUCore:
                 continue
             if w.at_barrier != barrier_id:
                 return  # someone has not arrived yet
+        busy = self._busy
         for w in self.warps:
             w.at_barrier = None
             # Un-park released warps; finished ones keep the done sentinel.
             # (A warp at a barrier cannot be mid-compute, so its real
-            # busy_until was already <= now — 0 is equivalent to the scan.)
+            # busy cycle was already <= now — 0 is equivalent to the scan.)
             if w.pc < w.n_ops:
-                w.busy_until = 0
+                busy[w.idx] = 0
 
     # ------------------------------------------------------------------
     def _check_done(self, now: int) -> None:

@@ -70,14 +70,20 @@ class MemOpRecord:
 class Warp:
     """Execution state of one warp: program counter plus blocking state."""
 
-    __slots__ = ("core_id", "warp_id", "trace", "ops", "n_ops", "pc",
-                 "outstanding", "busy_until", "at_barrier", "fence_pending",
+    __slots__ = ("core_id", "warp_id", "idx", "trace", "ops", "n_ops", "pc",
+                 "outstanding", "at_barrier", "fence_pending",
                  "stall_start", "stall_blocker", "stall_record",
                  "done_cycle", "completed_ops")
 
     def __init__(self, trace: WarpTrace):
         self.core_id = trace.core_id
         self.warp_id = trace.warp_id
+        #: Position in the owning core's warp list, assigned by the core.
+        #: Indexes the core's flat ``_busy`` park/busy column (the
+        #: ``busy_until`` field lives there, not on the warp — the issue
+        #: scan rejects parked warps on one list load without touching
+        #: the warp object).
+        self.idx = 0
         self.trace = trace
         #: Direct references for the issue stage's per-cycle scan, which is
         #: hot enough that even the ``trace.ops`` attribute hop and the
@@ -87,7 +93,6 @@ class Warp:
         self.pc = 0
         #: In-flight global memory ops, oldest first.
         self.outstanding: List[MemOpRecord] = []
-        self.busy_until = 0               # COMPUTE op completion cycle
         self.at_barrier: Optional[int] = None
         self.fence_pending = False
         # SC-stall bookkeeping for the op currently blocked at issue.

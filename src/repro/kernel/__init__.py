@@ -1,0 +1,69 @@
+"""Flat-array protocol kernel: selection and the optional compiled core.
+
+The kernel package re-implements the hot paths of the RCC / RCC-WO / MESI
+controllers over flat parallel arrays (:mod:`repro.kernel.layout`) with
+integer state encodings and table-driven transitions
+(:mod:`repro.kernel.hot`). The object-based controllers remain the
+differential oracle — the flat kernel must be payload-bit-identical to
+them, and ``tests/test_kernel_differential.py`` plus the
+``tests/golden/flat_kernel_golden.json`` battery enforce it.
+
+Selection
+---------
+``RCC_FLAT_KERNEL`` (default on) picks the flat controllers at protocol
+build time; set it to ``0`` to force the object kernel. Setting
+``RCC_LEGACY_ENGINE=1`` also forces the object kernel, so the existing
+``repro-perf --compare-legacy`` gate compares the *complete* legacy stack
+(heap engine + object controllers) against the complete fast one
+(bucketed engine + flat kernel) and asserts identical payloads.
+
+Compiled core
+-------------
+``repro.kernel.hot`` holds only integers, lists, and tuples so an
+optional ahead-of-time build (``tools/build_kernel.py``, mypyc or
+Cython) can compile it to a C extension named ``repro.kernel.hot_c``.
+The import below prefers the compiled module when present and silently
+falls back to the pure-Python one — the extension is never required.
+``RCC_KERNEL_COMPILED=0`` skips the compiled module even when built.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "hot",
+    "COMPILED",
+    "flat_kernel_enabled",
+    "kernel_description",
+]
+
+if os.environ.get("RCC_KERNEL_COMPILED", "1") not in ("0", "off", "no"):
+    try:
+        from repro.kernel import hot_c as hot  # type: ignore[no-redef]
+        COMPILED = True
+    except ImportError:
+        from repro.kernel import hot
+        COMPILED = False
+else:  # explicit opt-out: always interpret the pure-Python core
+    from repro.kernel import hot
+    COMPILED = False
+
+
+def flat_kernel_enabled() -> bool:
+    """True when protocol builds should use the flat controllers.
+
+    Checked per :func:`repro.coherence.registry.build_protocol` call, so
+    flipping the environment between simulations (as the differential
+    tests and ``--compare-legacy`` do) takes effect immediately.
+    """
+    if os.environ.get("RCC_LEGACY_ENGINE"):
+        return False
+    return os.environ.get("RCC_FLAT_KERNEL", "1") not in ("0", "off", "no")
+
+
+def kernel_description() -> str:
+    """Short label of the kernel the next build would use (for reports)."""
+    if not flat_kernel_enabled():
+        return "object"
+    return "flat+compiled" if COMPILED else "flat"

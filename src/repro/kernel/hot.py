@@ -1,0 +1,159 @@
+"""Inner-loop primitives of the flat kernel: state codes, transition
+tables, and the victim scan.
+
+Everything in this module is integers, booleans, lists, and tuples — no
+enums, no objects — so an ahead-of-time compiler (mypyc / Cython, see
+``tools/build_kernel.py``) can translate it to a C extension without
+boxing. The pure-Python module is the always-available fallback; the two
+must stay behaviorally identical (``tests/test_kernel_tables.py`` pins
+the encodings against the state enums).
+
+State encodings
+---------------
+Codes are the **definition order** of the state enums in
+:mod:`repro.common.types` (``FlatTagArray`` builds its encode/decode
+maps the same way, so the hard-coded constants here and the generic
+layout always agree — a unit test asserts it):
+
+* L1: I=0, V=1, IV=2, II=3, VI=4; ``L1_NONE`` = no tag entry.
+* L2: I=0, V=1, IV=2, IAV=3; ``L2_NONE`` = no tag entry.
+
+Way occupancy lives in a dedicated ``c_used`` column (not a state-code
+sentinel): freeing a way must leave every other column intact so that a
+stale :class:`FlatLineView` held across a ``remove`` still reads the
+departed line's fields, exactly like a stale ``CacheLine`` reference.
+
+Transition tables
+-----------------
+One tuple per (controller, input event), indexed by state code, yielding
+an action code. The tables encode exactly the state dispatch the object
+controllers perform with chained ``is`` tests; the flat handlers branch
+on the action. ``A_UNREACHED`` cells are states the protocols never
+store in the tag array (e.g. L1 store transients live in the MSHR);
+hitting one is a protocol bug.
+"""
+
+from typing import List
+
+# L1 state codes (L1State definition order) -----------------------------
+L1_I = 0
+L1_V = 1
+L1_IV = 2
+L1_II = 3
+L1_VI = 4
+L1_NONE = 5
+
+# L2 state codes (L2State definition order) -----------------------------
+L2_I = 0
+L2_V = 1
+L2_IV = 2
+L2_IAV = 3
+L2_NONE = 4
+
+# Action codes ----------------------------------------------------------
+A_UNREACHED = 0   # state never stored in the tag for this event
+A_VHIT = 1        # L1 valid-line hit path (lease-checked under RCC)
+A_MISS = 2        # L1 miss path (MSHR merge or allocate + GETS)
+A_GRANT = 3       # L2 V: grant read (lease / sharer add)
+A_MERGE_RD = 4    # L2 IV: merge reader into the MSHR
+A_RETRY = 5       # L2 blocking state: requeue after RETRY_DELAY
+A_FETCH = 6       # L2 I/absent: allocate and fetch from DRAM
+A_APPLY = 7       # L2 V: apply write/atomic
+A_MERGE_WR = 8    # L2 IV: ack write against the MSHR (RCC write merge)
+
+# (event, state) -> action, indexed by state code; the final cell is the
+# *_NONE (no tag entry) state.
+RCC_L1_LOAD = (A_UNREACHED, A_VHIT, A_MISS, A_UNREACHED, A_UNREACHED,
+               A_MISS)
+MESI_L1_LOAD = (A_UNREACHED, A_VHIT, A_MISS, A_UNREACHED, A_UNREACHED,
+                A_MISS)
+RCC_L2_GETS = (A_FETCH, A_GRANT, A_MERGE_RD, A_RETRY, A_FETCH)
+RCC_L2_WRITE = (A_FETCH, A_APPLY, A_MERGE_WR, A_RETRY, A_FETCH)
+RCC_L2_ATOMIC = (A_FETCH, A_APPLY, A_RETRY, A_RETRY, A_FETCH)
+MESI_L2_GETS = (A_FETCH, A_GRANT, A_MERGE_RD, A_UNREACHED, A_FETCH)
+MESI_L2_GETX = (A_FETCH, A_APPLY, A_MERGE_WR, A_UNREACHED, A_FETCH)
+
+
+def find_free_way(c_used: List[bool], base: int, assoc: int) -> int:
+    """First unoccupied way of the set starting at ``base``, or -1."""
+    for slot in range(base, base + assoc):
+        if not c_used[slot]:
+            return slot
+    return -1
+
+
+def can_fill(c_used: List[bool], c_pinned: List[bool], base: int,
+             assoc: int) -> bool:
+    """Whether the set starting at ``base`` could accept a fill: any free
+    way, or any occupied-but-unpinned way (a victim exists). The boolean
+    twin of :func:`pick_slot` for allocation *probes* (``would_stall``
+    runs one per issue attempt): no LRU or state reads, and it early-exits
+    on the first eligible way."""
+    for slot in range(base, base + assoc):
+        if not c_used[slot] or not c_pinned[slot]:
+            return True
+    return False
+
+
+def pick_slot(c_used: List[bool], c_state: List[int], c_lru: List[int],
+              c_pinned: List[bool], base: int, assoc: int,
+              inv_code: int) -> int:
+    """Fill target for the set starting at ``base``: the first free way
+    if one exists, else the :func:`pick_victim` LRU victim, else -1.
+
+    Single-pass fusion of ``find_free_way`` + ``pick_victim`` for the
+    steady-state insert path (in a warmed-up cache every set is full, so
+    the separate free-way scan is a guaranteed miss paid on every fill).
+    The caller distinguishes the cases by ``c_used[slot]``: free ways
+    need no eviction. Behavior is pinned identical to the two-scan pair
+    by the victim-parity battery.
+    """
+    best = -1
+    best_lru = 0
+    best_inv = -1
+    best_inv_lru = 0
+    for slot in range(base, base + assoc):
+        if not c_used[slot]:
+            return slot
+        if c_pinned[slot]:
+            continue
+        lru = c_lru[slot]
+        if c_state[slot] == inv_code:
+            if best_inv < 0 or lru < best_inv_lru:
+                best_inv = slot
+                best_inv_lru = lru
+        elif best < 0 or lru < best_lru:
+            best = slot
+            best_lru = lru
+    return best_inv if best_inv >= 0 else best
+
+
+def pick_victim(c_used: List[bool], c_state: List[int], c_lru: List[int],
+                c_pinned: List[bool], base: int, assoc: int,
+                inv_code: int) -> int:
+    """LRU victim slot for the set starting at ``base``, or -1.
+
+    Mirrors ``CacheArray._pick_victim`` exactly: pinned ways are never
+    victims; ways in the protocol's invalid state are preferred
+    categorically; otherwise the minimum LRU tick wins with a strict
+    ``<``. LRU ticks are globally unique (one shared ``itertools.count``
+    across both kernels), so the minimum is unique and the scan order —
+    way order here, set-dict insertion order in the object array —
+    cannot change the outcome.
+    """
+    best = -1
+    best_lru = 0
+    best_inv = -1
+    best_inv_lru = 0
+    for slot in range(base, base + assoc):
+        if not c_used[slot] or c_pinned[slot]:
+            continue
+        lru = c_lru[slot]
+        if c_state[slot] == inv_code:
+            if best_inv < 0 or lru < best_inv_lru:
+                best_inv = slot
+                best_inv_lru = lru
+        elif best < 0 or lru < best_lru:
+            best = slot
+            best_lru = lru
+    return best_inv if best_inv >= 0 else best

@@ -1,0 +1,376 @@
+"""Flat parallel-array tag storage for the flat protocol kernel.
+
+:class:`FlatTagArray` stores what :class:`~repro.mem.cache_array.CacheArray`
+stores — one set-associative tag array of per-block coherence state — as
+parallel columns indexed by *slot* (``set_index * assoc + way``) instead
+of one ``CacheLine`` object per block:
+
+====================  =====================================================
+column                contents
+====================  =====================================================
+``c_used``            way occupancy bit (free ways keep their last fields)
+``c_addr``            block base address
+``c_state``           integer state code (:mod:`repro.kernel.hot`)
+``c_exp``             lease expiration timestamp
+``c_ver``             write version (RCC L2)
+``c_lru``             LRU tick (shared global counter with ``CacheArray``)
+``c_pinned``          ineligible for eviction (transient with traffic out)
+``c_dirty``           write-back L2 dirty bit
+``c_value``           opaque data token (SC checking)
+``c_sharers``         MESI sharer set, lazily created (None when empty)
+``c_meta``            protocol-private dict, lazily created (None if unused)
+====================  =====================================================
+
+The columns are plain Python lists, deliberately: under CPython,
+``array('q')``/numpy scalars must box on every element read, which
+measured *slower* than list access on the simulator's access pattern —
+the flat win comes from replacing attribute dereferences and per-line
+allocation with indexed loads, and lists are also what mypyc compiles to
+unboxed C array ops in the optional compiled build.
+
+Hot handler code indexes the columns directly via ``_tag`` (block ->
+slot). Cold paths — parent-class handlers the flat controllers do not
+override, the lease policies, eviction callbacks, tests — go through
+:class:`FlatLineView`, a per-slot handle with the exact ``CacheLine``
+attribute surface, exposed through the ``CacheArray``-compatible API
+(``_map``/``lookup``/``insert``/``lines``/...). When a slot is freed —
+``remove``, eviction, or ``clear`` — its view is *detached*: repointed
+in place at a one-line copy of the columns, and a fresh view installed
+for the slot. Every reference held to the departed line therefore keeps
+reading its final fields, exactly the stale-``CacheLine`` aliasing the
+object kernel gives (eviction callbacks and the MESI recall tests rely
+on it); only the free path pays the snapshot allocation.
+
+Determinism: LRU ticks come from the same global ``itertools.count`` as
+``CacheArray`` and are consumed at exactly the same sequence points
+(line creation and ``touch``), so victim selection is bit-identical
+between kernels (see ``pick_victim`` in :mod:`repro.kernel.hot`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.config import CacheConfig
+from repro.errors import SimulationError
+from repro.kernel import hot
+from repro.mem.cache_array import _lru_ticks
+
+
+class FlatLineView:
+    """``CacheLine``-shaped handle over one slot of a :class:`FlatTagArray`."""
+
+    __slots__ = ("_arr", "_slot")
+
+    def __init__(self, arr: "FlatTagArray", slot: int):
+        self._arr = arr
+        self._slot = slot
+
+    # -- identity ------------------------------------------------------
+    @property
+    def addr(self) -> int:
+        return self._arr.c_addr[self._slot]
+
+    @property
+    def state(self) -> Any:
+        return self._arr.decode[self._arr.c_state[self._slot]]
+
+    @state.setter
+    def state(self, value: Any) -> None:
+        self._arr.c_state[self._slot] = self._arr.encode[value]
+
+    # -- timestamps ----------------------------------------------------
+    @property
+    def exp(self) -> int:
+        return self._arr.c_exp[self._slot]
+
+    @exp.setter
+    def exp(self, value: int) -> None:
+        self._arr.c_exp[self._slot] = value
+
+    @property
+    def ver(self) -> int:
+        return self._arr.c_ver[self._slot]
+
+    @ver.setter
+    def ver(self, value: int) -> None:
+        self._arr.c_ver[self._slot] = value
+
+    # -- flags / data --------------------------------------------------
+    @property
+    def dirty(self) -> bool:
+        return self._arr.c_dirty[self._slot]
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        self._arr.c_dirty[self._slot] = value
+
+    @property
+    def pinned(self) -> bool:
+        return self._arr.c_pinned[self._slot]
+
+    @pinned.setter
+    def pinned(self, value: bool) -> None:
+        self._arr.c_pinned[self._slot] = value
+
+    @property
+    def value(self) -> Any:
+        return self._arr.c_value[self._slot]
+
+    @value.setter
+    def value(self, value: Any) -> None:
+        self._arr.c_value[self._slot] = value
+
+    @property
+    def sharers(self) -> set:
+        s = self._arr.c_sharers[self._slot]
+        if s is None:
+            s = set()
+            self._arr.c_sharers[self._slot] = s
+        return s
+
+    @sharers.setter
+    def sharers(self, value: set) -> None:
+        self._arr.c_sharers[self._slot] = value
+
+    @property
+    def meta(self) -> dict:
+        m = self._arr.c_meta[self._slot]
+        if m is None:
+            m = {}
+            self._arr.c_meta[self._slot] = m
+        return m
+
+    @meta.setter
+    def meta(self, value: dict) -> None:
+        self._arr.c_meta[self._slot] = value
+
+    @property
+    def _lru(self) -> int:
+        return self._arr.c_lru[self._slot]
+
+    @_lru.setter
+    def _lru(self, value: int) -> None:
+        self._arr.c_lru[self._slot] = value
+
+    def touch(self) -> None:
+        self._arr.c_lru[self._slot] = next(_lru_ticks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FlatLine 0x{self.addr:x} {self.state} ver={self.ver} "
+                f"exp={self.exp}{' dirty' if self.dirty else ''}>")
+
+
+class _DetachedColumns:
+    """One-line column holder a view is repointed at when its slot is
+    freed. The detached view keeps the full attribute surface (reads and
+    writes) over the departed line's final fields."""
+
+    __slots__ = ("decode", "encode", "c_addr", "c_state", "c_exp", "c_ver",
+                 "c_lru", "c_pinned", "c_dirty", "c_value", "c_sharers",
+                 "c_meta")
+
+
+class _ViewMap:
+    """Read-only ``CacheArray._map``-shaped facade: block -> line view."""
+
+    __slots__ = ("_tag", "_views")
+
+    def __init__(self, tag: dict, views: List[FlatLineView]):
+        self._tag = tag
+        self._views = views
+
+    def get(self, block: int, default: Any = None) -> Any:
+        slot = self._tag.get(block)
+        return self._views[slot] if slot is not None else default
+
+    def __getitem__(self, block: int) -> FlatLineView:
+        return self._views[self._tag[block]]
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._tag
+
+    def __len__(self) -> int:
+        return len(self._tag)
+
+    def keys(self):
+        return self._tag.keys()
+
+    def values(self) -> Iterator[FlatLineView]:
+        views = self._views
+        return (views[s] for s in self._tag.values())
+
+
+class FlatTagArray:
+    """Drop-in ``CacheArray`` replacement backed by parallel columns.
+
+    Generic over the protocol's state enum: codes are the enum's
+    definition order (matching the constants in :mod:`repro.kernel.hot`
+    for the shipped L1/L2 enums — pinned by ``tests/test_kernel_tables``).
+    """
+
+    def __init__(self, cfg: CacheConfig, invalid_state: Any):
+        cfg.validate()
+        self.cfg = cfg
+        self.invalid_state = invalid_state
+        enum_cls = type(invalid_state)
+        #: code -> enum member (definition order).
+        self.decode = tuple(enum_cls)
+        #: enum member -> code.
+        self.encode = {m: i for i, m in enumerate(self.decode)}
+        #: table index for "no tag entry" (one past the last state).
+        self.state_none = len(self.decode)
+        self.inv_code = self.encode[invalid_state]
+        self.n_sets = cfg.n_sets
+        self.assoc = cfg.assoc
+        self._block_shift = cfg.block_bytes.bit_length() - 1
+        n = self.n_sets * self.assoc
+        self.n_slots = n
+        self.c_used: List[bool] = [False] * n
+        self.c_addr: List[int] = [-1] * n
+        self.c_state: List[int] = [self.inv_code] * n
+        self.c_exp: List[int] = [0] * n
+        self.c_ver: List[int] = [0] * n
+        self.c_lru: List[int] = [0] * n
+        self.c_pinned: List[bool] = [False] * n
+        self.c_dirty: List[bool] = [False] * n
+        self.c_value: List[Any] = [None] * n
+        self.c_sharers: List[Optional[set]] = [None] * n
+        self.c_meta: List[Optional[dict]] = [None] * n
+        #: block -> slot; the hot-path index.
+        self._tag: dict = {}
+        self._views: List[FlatLineView] = [FlatLineView(self, s)
+                                           for s in range(n)]
+        #: ``CacheArray._map``-compatible facade for shared cold paths.
+        self._map = _ViewMap(self._tag, self._views)
+
+    # ------------------------------------------------------------------
+    def set_index(self, addr: int) -> int:
+        return (addr >> self._block_shift) % self.n_sets
+
+    def block_of(self, addr: int) -> int:
+        return (addr >> self._block_shift) << self._block_shift
+
+    # ------------------------------------------------------------------
+    def lookup(self, addr: int) -> Optional[FlatLineView]:
+        """Return the view holding ``addr`` (any state), or None."""
+        slot = self._tag.get((addr >> self._block_shift) << self._block_shift)
+        return self._views[slot] if slot is not None else None
+
+    def insert(self, addr: int, state: Any,
+               evict_cb: Optional[Callable[[FlatLineView], None]] = None
+               ) -> FlatLineView:
+        """``CacheArray.insert`` semantics; returns the line's view."""
+        base = (addr >> self._block_shift) << self._block_shift
+        slot = self.insert_slot(base, self.encode[state], evict_cb)
+        return self._views[slot]
+
+    def insert_slot(self, block: int, state_code: int,
+                    evict_cb: Optional[Callable[[FlatLineView], None]] = None
+                    ) -> int:
+        """Hot-path insert: block-aligned address + integer state code.
+
+        Matches ``CacheArray.insert`` step for step, including LRU-tick
+        consumption points: an existing line is re-stated and touched; a
+        new line picks a free way, else evicts the LRU victim (callback
+        sees the victim's view before the slot is reused), and the fill
+        consumes one tick exactly where ``CacheLine.__init__`` does.
+        """
+        tag = self._tag
+        slot = tag.get(block)
+        c_state = self.c_state
+        if slot is not None:
+            c_state[slot] = state_code
+            self.c_lru[slot] = next(_lru_ticks)
+            return slot
+        base = ((block >> self._block_shift) % self.n_sets) * self.assoc
+        c_used = self.c_used
+        slot = hot.pick_slot(c_used, c_state, self.c_lru, self.c_pinned,
+                             base, self.assoc, self.inv_code)
+        if slot < 0:
+            raise SimulationError(
+                f"no evictable line in set {self.set_index(block)} "
+                f"(all {self.assoc} ways pinned)"
+            )
+        if c_used[slot]:
+            victim_block = self.c_addr[slot]
+            victim = self._detach(slot)
+            if evict_cb is not None:
+                evict_cb(victim)
+            del tag[victim_block]
+        c_used[slot] = True
+        self.c_addr[slot] = block
+        c_state[slot] = state_code
+        self.c_exp[slot] = 0
+        self.c_ver[slot] = 0
+        self.c_dirty[slot] = False
+        self.c_value[slot] = None
+        self.c_pinned[slot] = False
+        self.c_sharers[slot] = None
+        self.c_meta[slot] = None
+        self.c_lru[slot] = next(_lru_ticks)
+        tag[block] = slot
+        return slot
+
+    def can_allocate(self, addr: int) -> bool:
+        """True if a line for ``addr`` exists or a victim is available."""
+        blk = addr >> self._block_shift
+        if (blk << self._block_shift) in self._tag:
+            return True
+        base = (blk % self.n_sets) * self.assoc
+        return hot.can_fill(self.c_used, self.c_pinned, base, self.assoc)
+
+    def _detach(self, slot: int) -> FlatLineView:
+        """Free ``slot``: snapshot its columns into the outstanding view
+        (so stale references keep the departed line's fields, like a
+        stale ``CacheLine``) and install a fresh view for the slot."""
+        view = self._views[slot]
+        d = _DetachedColumns()
+        d.decode = self.decode
+        d.encode = self.encode
+        d.c_addr = [self.c_addr[slot]]
+        d.c_state = [self.c_state[slot]]
+        d.c_exp = [self.c_exp[slot]]
+        d.c_ver = [self.c_ver[slot]]
+        d.c_lru = [self.c_lru[slot]]
+        d.c_pinned = [self.c_pinned[slot]]
+        d.c_dirty = [self.c_dirty[slot]]
+        d.c_value = [self.c_value[slot]]
+        d.c_sharers = [self.c_sharers[slot]]
+        d.c_meta = [self.c_meta[slot]]
+        view._arr = d
+        view._slot = 0
+        self._views[slot] = FlatLineView(self, slot)
+        self.c_used[slot] = False
+        return view
+
+    def remove(self, addr: int) -> Optional[FlatLineView]:
+        base = (addr >> self._block_shift) << self._block_shift
+        slot = self._tag.pop(base, None)
+        if slot is None:
+            return None
+        return self._detach(slot)
+
+    def set_lines(self, addr: int) -> List[FlatLineView]:
+        """All occupied views in the set that ``addr`` maps to."""
+        base = self.set_index(addr) * self.assoc
+        c_used = self.c_used
+        return [self._views[s] for s in range(base, base + self.assoc)
+                if c_used[s]]
+
+    # ------------------------------------------------------------------
+    def lines(self) -> Iterator[FlatLineView]:
+        c_used = self.c_used
+        views = self._views
+        for slot in range(self.n_slots):
+            if c_used[slot]:
+                yield views[slot]
+
+    def occupancy(self) -> int:
+        return len(self._tag)
+
+    def clear(self) -> None:
+        """Drop every line (rollover flash-clear)."""
+        for slot in list(self._tag.values()):
+            self._detach(slot)
+        self._tag.clear()

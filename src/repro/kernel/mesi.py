@@ -1,0 +1,393 @@
+"""Flat-kernel MESI controllers (the paper's SC directory baseline).
+
+Transliterations of :class:`~repro.coherence.mesi.MESIL1Controller` and
+:class:`~repro.coherence.mesi.MESIL2Controller` hot paths onto flat
+columns with table dispatch — same contract as :mod:`repro.kernel.rcc`:
+observable behavior is bit-identical to the object controllers, and the
+cold paths (DRAM fills, evictions/recalls, ``_apply_write``) reuse the
+parent implementations through :class:`FlatLineView` handles.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush
+
+from repro.common.messages import Message
+from repro.common.types import AccessOutcome, L1State, L2State, MemOpKind, \
+    MsgKind
+from repro.coherence.mesi import MESIL1Controller, MESIL2Controller, \
+    RETRY_DELAY
+from repro.gpu.warp import MemOpRecord, Warp
+from repro.kernel import hot
+from repro.kernel.layout import FlatTagArray
+from repro.mem.cache_array import _lru_ticks
+from repro.sanitize.events import EventKind as EV
+from repro.timing.engine import _MASK as _RING_MASK
+
+_L1_V = hot.L1_V
+_L1_IV = hot.L1_IV
+_L1_NONE = hot.L1_NONE
+_L2_V = hot.L2_V
+_L2_NONE = hot.L2_NONE
+
+_MESI_L1_LOAD = hot.MESI_L1_LOAD
+_MESI_L2_GETS = hot.MESI_L2_GETS
+_MESI_L2_GETX = hot.MESI_L2_GETX
+
+_A_VHIT = hot.A_VHIT
+_A_GRANT = hot.A_GRANT
+_A_MERGE_RD = hot.A_MERGE_RD
+_A_APPLY = hot.A_APPLY
+_A_MERGE_WR = hot.A_MERGE_WR
+
+
+class FlatMESIL1Controller(MESIL1Controller):
+    """Write-through MESI L1 over flat-array tag state."""
+
+    def __init__(self, core_id, engine, cfg, noc, amap):
+        super().__init__(core_id, engine, cfg, noc, amap)
+        self.cache = FlatTagArray(cfg.l1, L1State.I)
+
+    # ------------------------------------------------------------------
+    def would_stall(self, kind: MemOpKind, addr: int) -> bool:
+        shift = self.amap._block_shift
+        block = (addr >> shift) << shift
+        mshr = self.mshr
+        entry = mshr._entries.get(block)
+        if kind is MemOpKind.LOAD:
+            cache = self.cache
+            slot = cache._tag.get(block)
+            if slot is not None and cache.c_state[slot] == _L1_V:
+                return False
+            if entry is None and len(mshr._entries) >= mshr.capacity:
+                return True
+            return slot is None and not cache.can_allocate(block)
+        if entry is not None and entry.pending_stores:
+            return True
+        return entry is None and len(mshr._entries) >= mshr.capacity
+
+    def _load(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
+        shift = self.amap._block_shift
+        block = (record.addr >> shift) << shift
+        cache = self.cache
+        slot = cache._tag.get(block)
+        st = _L1_NONE if slot is None else cache.c_state[slot]
+        if _MESI_L1_LOAD[st] == _A_VHIT:
+            stats = self.stats
+            stats.loads += 1
+            stats.load_hits += 1
+            if self.sanitizer is not None:
+                self._emit(EV.L1_LOAD_HIT, block)
+            record.read_value = cache.c_value[slot]
+            record.logical_ts = self.engine.now
+            record.order_key = -1
+            cache.c_lru[slot] = next(_lru_ticks)
+            self.complete(record, warp, delay=self.cfg.l1.hit_latency)
+            return AccessOutcome.HIT
+        entries = self.mshr._entries
+        entry = entries.get(block)
+        if entry is None and len(entries) >= self.mshr.capacity:
+            return AccessOutcome.STALL
+        if slot is None and not cache.can_allocate(block):
+            return AccessOutcome.STALL
+        self.stats.loads += 1
+        self.stats.load_misses += 1
+        if self.sanitizer is not None:
+            self._emit(EV.L1_LOAD_MISS, block)
+        entry = self.mshr.allocate(block)
+        entry.waiting_loads.append((record, warp))
+        if entry.meta.get("gets_out"):
+            return AccessOutcome.MISS
+        if slot is None:
+            slot = cache.insert_slot(block, _L1_IV, self._on_evict)
+        cache.c_state[slot] = _L1_IV
+        cache.c_pinned[slot] = True
+        entry.meta["gets_out"] = True
+        self.send_to_l2(MsgKind.GETS, block)
+        return AccessOutcome.MISS
+
+    def _store_or_atomic(self, record: MemOpRecord,
+                         warp: Warp) -> AccessOutcome:
+        shift = self.amap._block_shift
+        block = (record.addr >> shift) << shift
+        entries = self.mshr._entries
+        entry = entries.get(block)
+        if entry is not None and entry.pending_stores:
+            # Same-block stores serialize until the previous ack returns.
+            return AccessOutcome.STALL
+        if entry is None and len(entries) >= self.mshr.capacity:
+            return AccessOutcome.STALL
+        self.count_access(record)
+        if self.sanitizer is not None:
+            self._emit(EV.L1_STORE_ISSUE, block,
+                       atomic=record.kind is MemOpKind.ATOMIC)
+        entry = self.mshr.allocate(block)
+        entry.pending_stores.append((record, warp))
+        cache = self.cache
+        slot = cache._tag.get(block)
+        if slot is not None and cache.c_state[slot] == _L1_V:
+            cache.remove(block)  # write-through, write-no-allocate
+            self.stats.self_invalidations += 1
+            if self.sanitizer is not None:
+                self._emit(EV.L1_SELF_INVAL, block, reason="write_through")
+        elif slot is not None:
+            cache.c_pinned[slot] = True
+        kind = (MsgKind.ATOMIC if record.kind is MemOpKind.ATOMIC
+                else MsgKind.GETX)
+        self.send_to_l2(kind, block, value=record.value,
+                        meta={"record": record, "warp": warp})
+        return AccessOutcome.MISS
+
+    # ------------------------------------------------------------------
+    def _on_data(self, msg: Message) -> None:
+        block = msg.addr
+        entry = self.mshr._entries.get(block)
+        if msg.meta.get("atomic"):
+            self._complete_store(msg, read_value=msg.value)
+            return
+        cache = self.cache
+        slot = cache._tag.get(block)
+        inv_after = (entry is not None
+                     and entry.meta.pop("inv_after_fill", False))
+        safe_count = (entry.meta.pop("safe_count", None)
+                      if entry is not None else None)
+        if slot is not None:
+            if inv_after:
+                cache.remove(block)
+            else:
+                cache.c_state[slot] = _L1_V
+                cache.c_value[slot] = msg.value
+        if self.sanitizer is not None:
+            self._emit(EV.L1_FILL, block,
+                       installed=slot is not None and not inv_after)
+        if entry is not None:
+            waiting = entry.waiting_loads
+            if inv_after and safe_count is not None:
+                deliver, keep = waiting[:safe_count], waiting[safe_count:]
+            else:
+                deliver, keep = waiting, []
+            granted_at = msg.meta.get("granted_at", self.engine.now)
+            arrival = msg.meta.get("arrival", -1)
+            value = msg.value
+            for record, warp in deliver:
+                record.read_value = value
+                issued = record.issue_cycle
+                record.logical_ts = (granted_at if granted_at > issued
+                                     else issued)
+                record.order_key = arrival
+                self.complete(record, warp)
+            entry.waiting_loads = keep
+            if keep:
+                entry.meta["gets_out"] = True
+                self.send_to_l2(MsgKind.GETS, block)
+            else:
+                entry.meta["gets_out"] = False
+            self._maybe_release(block)
+
+    def _on_inv(self, msg: Message) -> None:
+        block = msg.addr
+        self.stats.invalidations_received += 1
+        cache = self.cache
+        slot = cache._tag.get(block)
+        entry = self.mshr._entries.get(block)
+        dropped = slot is not None and cache.c_state[slot] == _L1_V
+        if self.sanitizer is not None:
+            self._emit(EV.L1_INV, block, dropped=dropped,
+                       recall=bool(msg.meta.get("recall")))
+        if dropped:
+            cache.remove(block)
+        if entry is not None and entry.meta.get("gets_out"):
+            entry.meta["inv_after_fill"] = True
+            entry.meta.setdefault("safe_count", len(entry.waiting_loads))
+        self.send_to_l2(MsgKind.INV_ACK, block,
+                        meta={"requester": msg.meta.get("requester"),
+                              "recall": bool(msg.meta.get("recall"))})
+
+    def _maybe_release(self, block: int) -> None:
+        entry = self.mshr._entries.get(block)
+        if entry is not None and entry.empty:
+            self.mshr.release(block)
+            cache = self.cache
+            slot = cache._tag.get(block)
+            if slot is not None:
+                cache.c_pinned[slot] = False
+                if cache.c_state[slot] == _L1_IV:
+                    cache.remove(block)
+
+
+class FlatMESIL2Controller(MESIL2Controller):
+    """MESI directory bank over flat-array state."""
+
+    def __init__(self, bank_id, engine, cfg, noc, amap, dram, backing):
+        super().__init__(bank_id, engine, cfg, noc, amap, dram, backing)
+        self.cache = FlatTagArray(cfg.l2_per_bank, L2State.I)
+
+    # ------------------------------------------------------------------
+    def _retry(self, msg: Message) -> None:
+        # Flat twin of MESIL2Controller._retry — same cached callback and
+        # blocking predicate over columns (see the parent for rationale).
+        meta = msg.meta
+        cb = meta.get("_retry_cb")
+        if cb is None:
+            block = msg.addr
+            tag = self.cache._tag
+            c_state = self.cache.c_state
+            c_meta = self.cache.c_meta
+            entries = self.mshr._entries
+            capacity = self.mshr.capacity
+            recalls = self._recalls
+            engine = self.engine
+
+            def blocked() -> bool:
+                slot = tag.get(block)
+                if slot is not None:
+                    if c_state[slot] != _L2_V:
+                        return False
+                    m = c_meta[slot]
+                    return (m is not None
+                            and m.get("inv_pending") is not None)
+                if recalls.get(block):
+                    return True
+                return len(entries) >= capacity and block not in entries
+
+            ring = getattr(engine, "_ring", None)  # None under legacy engine
+            if msg.kind is MsgKind.GETS:
+                def cb() -> None:
+                    if blocked():
+                        cyc = engine.now + RETRY_DELAY
+                        if ring is not None and cyc < engine._horizon:
+                            engine._live += 1
+                            b = ring[cyc & _RING_MASK]
+                            if not b:
+                                heappush(engine._ring_cycles, cyc)
+                            b.append(cb)
+                        else:
+                            engine.schedule_call(cyc, cb)
+                    else:
+                        self._on_gets(msg)
+            else:
+                atomic = msg.kind is MsgKind.ATOMIC
+
+                def cb() -> None:
+                    if blocked():
+                        cyc = engine.now + RETRY_DELAY
+                        if ring is not None and cyc < engine._horizon:
+                            engine._live += 1
+                            b = ring[cyc & _RING_MASK]
+                            if not b:
+                                heappush(engine._ring_cycles, cyc)
+                            b.append(cb)
+                        else:
+                            engine.schedule_call(cyc, cb)
+                    else:
+                        self._on_getx(msg, atomic)
+            meta["_retry_cb"] = cb
+        engine = self.engine
+        engine.schedule_call(engine.now + RETRY_DELAY, cb)
+
+    # ------------------------------------------------------------------
+    def _on_gets(self, msg: Message) -> None:
+        meta = msg.meta
+        if not meta.get("_counted"):
+            meta["_counted"] = True
+            self.stats.gets += 1
+        block = msg.addr
+        cache = self.cache
+        slot = cache._tag.get(block)
+        st = _L2_NONE if slot is None else cache.c_state[slot]
+        act = _MESI_L2_GETS[st]
+        if act == _A_GRANT:
+            m = cache.c_meta[slot]
+            if m is not None and m.get("inv_pending") is not None:
+                self._retry(msg)
+                return
+            self.stats.hits += 1
+            sharers = cache.c_sharers[slot]
+            if sharers is None:
+                sharers = set()
+                cache.c_sharers[slot] = sharers
+            sharers.add(msg.src)
+            cache.c_lru[slot] = next(_lru_ticks)
+            if self.sanitizer is not None:
+                self._emit(EV.L2_READ_GRANT, block, peer=msg.src[1],
+                           sharers=len(sharers))
+            self.send(msg.src, MsgKind.DATA, block,
+                      value=cache.c_value[slot],
+                      meta={"arrival": self.next_arrival(),
+                            "granted_at": self.engine.now},
+                      delay=self.cfg.l2_per_bank.hit_latency)
+            return
+        if act == _A_MERGE_RD:
+            entry = self.mshr.allocate(block)
+            entry.waiting_loads.append(msg)
+            return
+        self._miss_fetch(msg, block, is_read=True)
+
+    def _on_getx(self, msg: Message, atomic: bool) -> None:
+        meta = msg.meta
+        if not meta.get("_counted"):
+            meta["_counted"] = True
+            if atomic:
+                self.stats.atomics += 1
+            else:
+                self.stats.writes += 1
+        block = msg.addr
+        cache = self.cache
+        slot = cache._tag.get(block)
+        st = _L2_NONE if slot is None else cache.c_state[slot]
+        act = _MESI_L2_GETX[st]
+        if act == _A_APPLY:
+            m = cache.c_meta[slot]
+            if m is not None and m.get("inv_pending") is not None:
+                self._retry(msg)
+                return
+            self.stats.hits += 1
+            # Sorted so the invalidation order never depends on set
+            # iteration order (PYTHONHASHSEED) — as in the object kernel.
+            s = cache.c_sharers[slot]
+            sharers = sorted(s) if s else []
+            if not sharers:
+                self._apply_write(msg, cache._views[slot], atomic)
+                return
+            if m is None:
+                m = {}
+                cache.c_meta[slot] = m
+            m["inv_pending"] = {
+                "remaining": len(sharers), "msg": msg, "atomic": atomic,
+            }
+            cache.c_pinned[slot] = True  # not evictable while collecting acks
+            s.clear()
+            for sharer in sharers:
+                self.stats.invalidations_sent += 1
+                self.send(sharer, MsgKind.INV, block,
+                          meta={"requester": msg.src},
+                          delay=self.cfg.l2_per_bank.hit_latency)
+            return
+        if act == _A_MERGE_WR:
+            entry = self.mshr.allocate(block)
+            entry.pending_stores.append((msg, atomic))
+            return
+        self._miss_fetch(msg, block, is_read=False, atomic=atomic)
+
+    def _on_inv_ack(self, msg: Message) -> None:
+        if msg.meta.get("recall"):
+            remaining = self._recalls.get(msg.addr, 0) - 1
+            if remaining > 0:
+                self._recalls[msg.addr] = remaining
+            else:
+                self._recalls.pop(msg.addr, None)
+            return
+        cache = self.cache
+        slot = cache._tag.get(msg.addr)
+        if slot is None:
+            return  # stale ack for an already-evicted block
+        m = cache.c_meta[slot]
+        pending = m.get("inv_pending") if m is not None else None
+        if pending is None:
+            return  # nothing is waiting
+        pending["remaining"] -= 1
+        if pending["remaining"] == 0:
+            del m["inv_pending"]
+            cache.c_pinned[slot] = False
+            self._apply_write(pending["msg"], cache._views[slot],
+                              pending["atomic"])

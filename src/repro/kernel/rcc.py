@@ -1,0 +1,604 @@
+"""Flat-kernel RCC / RCC-WO controllers.
+
+Line-for-line transliterations of :class:`~repro.core.rcc_l1.RCCL1Controller`
+and :class:`~repro.core.rcc_l2.RCCL2Controller` hot paths onto
+:class:`~repro.kernel.layout.FlatTagArray` columns with table-driven
+state dispatch (:mod:`repro.kernel.hot`). Everything observable —
+message fields and ordering, stat increments, MSHR bookkeeping, LRU tick
+consumption, sanitizer events (same transition points, same
+``is not None`` gating) — is preserved exactly; the golden and
+differential batteries assert payload bit-identity against the object
+kernel.
+
+Cold paths (rollover flush/reset, RENEW fallbacks, DRAM fills, eviction
+callbacks) deliberately reuse the parent implementations, which operate
+on the flat columns through persistent :class:`FlatLineView` handles —
+one implementation, one behavior.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush
+from typing import Optional
+
+from repro.common.messages import Message
+from repro.common.types import AccessOutcome, L1State, L2State, MemOpKind, \
+    MsgKind
+from repro.core.rcc_l1 import RCCL1Controller
+from repro.core.rcc_l2 import RCCL2Controller, RETRY_DELAY
+from repro.core.rcc_wo import RCCWOL1Controller
+from repro.gpu.warp import MemOpRecord, Warp
+from repro.kernel import hot
+from repro.kernel.layout import FlatTagArray
+from repro.mem.cache_array import _lru_ticks
+from repro.sanitize.events import EventKind as EV
+from repro.timing.engine import _MASK as _RING_MASK
+
+_L1_V = hot.L1_V
+_L1_IV = hot.L1_IV
+_L1_NONE = hot.L1_NONE
+_L2_V = hot.L2_V
+_L2_IV = hot.L2_IV
+_L2_IAV = hot.L2_IAV
+_L2_NONE = hot.L2_NONE
+
+_RCC_L1_LOAD = hot.RCC_L1_LOAD
+_RCC_L2_GETS = hot.RCC_L2_GETS
+_RCC_L2_WRITE = hot.RCC_L2_WRITE
+_RCC_L2_ATOMIC = hot.RCC_L2_ATOMIC
+
+_A_VHIT = hot.A_VHIT
+_A_GRANT = hot.A_GRANT
+_A_MERGE_RD = hot.A_MERGE_RD
+_A_RETRY = hot.A_RETRY
+_A_APPLY = hot.A_APPLY
+_A_MERGE_WR = hot.A_MERGE_WR
+
+
+class FlatRCCL1Controller(RCCL1Controller):
+    """RCC L1 with flat-array tag state and table-driven load dispatch."""
+
+    def __init__(self, core_id, engine, cfg, noc, amap, rollover):
+        super().__init__(core_id, engine, cfg, noc, amap, rollover)
+        self.cache = FlatTagArray(cfg.l1, L1State.I)
+
+    # ------------------------------------------------------------------
+    def would_stall(self, kind: MemOpKind, addr: int) -> bool:
+        shift = self.amap._block_shift
+        block = (addr >> shift) << shift
+        mshr = self.mshr
+        entry = mshr._entries.get(block)
+        if kind is MemOpKind.LOAD:
+            cache = self.cache
+            slot = cache._tag.get(block)
+            if (slot is not None and cache.c_state[slot] == _L1_V
+                    and self._read_now() <= cache.c_exp[slot]):
+                return False
+            if entry is None and len(mshr._entries) >= mshr.capacity:
+                return True
+            return slot is None and not cache.can_allocate(block)
+        return entry is None and len(mshr._entries) >= mshr.capacity
+
+    def _load(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
+        shift = self.amap._block_shift
+        block = (record.addr >> shift) << shift
+        cache = self.cache
+        slot = cache._tag.get(block)
+        rnow = self._read_now()
+        st = _L1_NONE if slot is None else cache.c_state[slot]
+
+        if _RCC_L1_LOAD[st] == _A_VHIT and rnow <= cache.c_exp[slot]:
+            # V (or VI) hit within the lease.
+            stats = self.stats
+            stats.loads += 1
+            stats.load_hits += 1
+            if self.sanitizer is not None:
+                self._emit(EV.L1_LOAD_HIT, block, now=rnow,
+                           exp=cache.c_exp[slot], view="read",
+                           epoch=self.rollover.epoch)
+            record.read_value = cache.c_value[slot]
+            record.logical_ts = (self.rollover.epoch << self.clock.bits) | rnow
+            record.order_key = -1  # L1 hit: never visited the L2
+            cache.c_lru[slot] = next(_lru_ticks)
+            self.complete(record, warp, delay=self.cfg.l1.hit_latency)
+            return AccessOutcome.HIT
+
+        expired = st == _L1_V and rnow > cache.c_exp[slot]
+
+        entries = self.mshr._entries
+        entry = entries.get(block)
+        if entry is None and len(entries) >= self.mshr.capacity:
+            return AccessOutcome.STALL
+        if slot is None and not cache.can_allocate(block):
+            return AccessOutcome.STALL  # all ways pinned by transients
+        self.stats.loads += 1
+        if expired:
+            self.stats.load_expired += 1
+        self.stats.load_misses += 1
+        if self.sanitizer is not None:
+            self._emit(EV.L1_LOAD_MISS, block, now=rnow, expired=expired,
+                       view="read", epoch=self.rollover.epoch)
+        entry = self.mshr.allocate(block)
+        entry.waiting_loads.append((record, warp, rnow))
+
+        if entry.meta.get("gets_out"):
+            return AccessOutcome.MISS  # merge into the outstanding GETS
+
+        old_exp: Optional[int] = None
+        if slot is None:
+            slot = cache.insert_slot(block, _L1_IV, self._on_evict)
+        else:
+            if cache.c_value[slot] is not None:
+                old_exp = cache.c_exp[slot]
+            cache.c_state[slot] = _L1_IV
+        cache.c_pinned[slot] = True
+        entry.meta["gets_out"] = True
+        self.send_to_l2(
+            MsgKind.GETS, block, now=rnow, exp=old_exp,
+            meta={"expired": expired, "epoch": self.rollover.epoch,
+                  "pc": record.prog_index},
+        )
+        return AccessOutcome.MISS
+
+    def _store_or_atomic(self, record: MemOpRecord,
+                         warp: Warp) -> AccessOutcome:
+        shift = self.amap._block_shift
+        block = (record.addr >> shift) << shift
+        entries = self.mshr._entries
+        entry = entries.get(block)
+        if entry is None and len(entries) >= self.mshr.capacity:
+            return AccessOutcome.STALL
+        self.count_access(record)
+        cache = self.cache
+        if self.sanitizer is not None:
+            vslot = cache._tag.get(block)
+            self._emit(EV.L1_STORE_ISSUE, block, now=self._write_now(),
+                       view="write", epoch=self.rollover.epoch,
+                       atomic=record.kind is MemOpKind.ATOMIC,
+                       op=record.seq,
+                       copy_exp=(cache.c_exp[vslot] if vslot is not None
+                                 and cache.c_state[vslot] == _L1_V else None))
+        entry = self.mshr.allocate(block)
+        entry.pending_stores.append((record, warp))
+        slot = cache._tag.get(block)
+        if slot is not None:
+            cache.c_pinned[slot] = True  # VI/II transients are not evictable
+        kind = (MsgKind.ATOMIC if record.kind is MemOpKind.ATOMIC
+                else MsgKind.WRITE)
+        self.send_to_l2(
+            kind, block, now=self._write_now(), value=record.value,
+            meta={"record": record, "warp": warp,
+                  "epoch": self.rollover.epoch},
+        )
+        return AccessOutcome.MISS
+
+    # ------------------------------------------------------------------
+    def _on_data(self, msg: Message, epoch: int) -> None:
+        block = msg.addr
+        ver = self.rollover.clamp(msg.ver, epoch)
+        exp = self.rollover.clamp(msg.exp, epoch)
+        self._advance_read(ver)
+        entry = self.mshr._entries.get(block)
+
+        if msg.meta.get("atomic"):
+            self._advance_write(ver)
+            self._complete_store(msg, ver)
+            return
+
+        cache = self.cache
+        slot = cache._tag.get(block)
+        if slot is not None:
+            cache.c_state[slot] = _L1_V
+            cache.c_exp[slot] = exp
+            cache.c_value[slot] = msg.value
+        if self.sanitizer is not None:
+            self._emit(EV.L1_FILL, block, ver=ver, exp=exp,
+                       now_after=self._read_now(), view="read",
+                       epoch=self.rollover.epoch,
+                       installed=slot is not None)
+        if entry is not None:
+            self._deliver_loads(block, entry, msg.value, ver, exp,
+                                msg.meta.get("arrival", -1))
+
+    def _deliver_loads(self, block: int, entry, value, ver: int, exp: int,
+                       arrival: int) -> None:
+        satisfied_any = False
+        keep = []
+        epoch_bits = self.rollover.epoch << self.clock.bits
+        for record, warp, snapshot in entry.waiting_loads:
+            if snapshot <= exp:
+                record.read_value = value
+                record.logical_ts = epoch_bits | (ver if ver > snapshot
+                                                  else snapshot)
+                record.order_key = arrival
+                self.complete(record, warp)
+                satisfied_any = True
+            else:
+                keep.append((record, warp, self._read_now()))
+        entry.waiting_loads = keep
+        if keep:
+            cache = self.cache
+            slot = cache._tag.get(block)
+            renewable = slot is not None and cache.c_value[slot] is not None
+            entry.meta["gets_out"] = True
+            self.send_to_l2(
+                MsgKind.GETS, block, now=self._read_now(),
+                exp=exp if renewable else None,
+                meta={"expired": renewable, "epoch": self.rollover.epoch,
+                      "pc": keep[0][0].prog_index},
+            )
+        else:
+            entry.meta["gets_out"] = False
+            self._maybe_release(block)
+
+    def _on_renew(self, msg: Message, epoch: int) -> None:
+        block = msg.addr
+        self.stats.renews_received += 1
+        exp = self.rollover.clamp(msg.exp, epoch)
+        if self.sanitizer is not None:
+            self._emit(EV.L1_RENEW, block, exp=exp,
+                       epoch=self.rollover.epoch)
+        cache = self.cache
+        slot = cache._tag.get(block)
+        if slot is None or cache.c_value[slot] is None:
+            entry = self.mshr._entries.get(block)
+            if entry is not None and entry.waiting_loads:
+                self.send_to_l2(
+                    MsgKind.GETS, block, now=self._read_now(), exp=None,
+                    meta={"expired": False, "epoch": self.rollover.epoch,
+                          "pc": entry.waiting_loads[0][0].prog_index},
+                )
+                entry.meta["gets_out"] = True
+            return
+        cache.c_state[slot] = _L1_V
+        cache.c_exp[slot] = exp
+        entry = self.mshr._entries.get(block)
+        if entry is not None:
+            self._deliver_loads(block, entry, cache.c_value[slot], 0, exp,
+                                msg.meta.get("arrival", -1))
+
+    def _complete_store(self, msg: Message, ver: int) -> None:
+        block = msg.addr
+        record: MemOpRecord = msg.meta["record"]
+        warp: Warp = msg.meta["warp"]
+        entry = self.mshr.get(block)
+        if entry is None or (record, warp) not in entry.pending_stores:
+            raise self.unhandled("II", msg.kind,
+                                 f"no pending store {record!r}")
+        entry.pending_stores.remove((record, warp))
+        record.logical_ts = (self.rollover.epoch << self.clock.bits) | ver
+        record.order_key = msg.meta.get("arrival", -1)
+        if record.kind is MemOpKind.ATOMIC:
+            record.read_value = msg.value
+        self.complete(record, warp)
+        cache = self.cache
+        slot = cache._tag.get(block)
+        if self.sanitizer is not None:
+            copy_exp = (cache.c_exp[slot] if slot is not None
+                        and cache.c_state[slot] == _L1_V else None)
+            self._emit(EV.L1_STORE_ACK, block, ver=ver,
+                       now_after=self._write_now(), copy_exp=copy_exp,
+                       view="write", op=record.seq,
+                       epoch=msg.meta.get("epoch", self.rollover.epoch),
+                       cur_epoch=self.rollover.epoch)
+        if not entry.pending_stores:
+            if (slot is not None and cache.c_state[slot] == _L1_V
+                    and not entry.waiting_loads):
+                cache.remove(block)
+                self.stats.self_invalidations += 1
+                if self.sanitizer is not None:
+                    self._emit(EV.L1_SELF_INVAL, block,
+                               reason="post_store_vi")
+        self._maybe_release(block)
+
+    def _maybe_release(self, block: int) -> None:
+        entry = self.mshr._entries.get(block)
+        if entry is not None and entry.empty:
+            self.mshr.release(block)
+            cache = self.cache
+            slot = cache._tag.get(block)
+            if slot is not None:
+                cache.c_pinned[slot] = False
+                if cache.c_state[slot] == _L1_IV:
+                    cache.remove(block)
+
+
+class FlatRCCWOL1Controller(RCCWOL1Controller, FlatRCCL1Controller):
+    """Flat RCC-WO L1: split read/write views over the flat hot paths.
+
+    The MRO does all the work: view plumbing (``_read_now`` /
+    ``_write_now`` / joins) resolves to :class:`RCCWOL1Controller`, the
+    handlers resolve to :class:`FlatRCCL1Controller`.
+    """
+
+
+class FlatRCCL2Controller(RCCL2Controller):
+    """RCC L2 bank with flat-array directory state and table dispatch."""
+
+    def __init__(self, bank_id, engine, cfg, noc, amap, dram, backing,
+                 rollover):
+        super().__init__(bank_id, engine, cfg, noc, amap, dram, backing,
+                         rollover)
+        self.cache = FlatTagArray(cfg.l2_per_bank, L2State.I)
+
+    # ------------------------------------------------------------------
+    def _projected_ts(self, msg: Message) -> int:
+        m = self.dram.mnow
+        n = msg.now or 0
+        if n > m:
+            m = n
+        cache = self.cache
+        slot = cache._tag.get(msg.addr)
+        if slot is not None:
+            e = cache.c_exp[slot]
+            if e > m:
+                m = e
+            v = cache.c_ver[slot]
+            if v > m:
+                m = v
+        return m + self._lease_max2
+
+    def _retry(self, msg: Message) -> None:
+        # Flat twin of RCCL2Controller._retry: same cached-callback
+        # structure and blocking predicate, reading columns instead of a
+        # CacheLine (see the parent for the re-arm rationale).
+        meta = msg.meta
+        cb = meta.get("_retry_cb")
+        if cb is None:
+            block = msg.addr
+            tag = self.cache._tag
+            c_state = self.cache.c_state
+            c_exp = self.cache.c_exp
+            c_ver = self.cache.c_ver
+            entries = self.mshr._entries
+            capacity = self.mshr.capacity
+            engine = self.engine
+            rollover = self.rollover
+            dram = self.dram
+            threshold = rollover.threshold
+            lease_max2 = self._lease_max2
+            n = msg.now or 0
+            atomic = msg.kind is MsgKind.ATOMIC
+
+            ring = getattr(engine, "_ring", None)  # None under legacy engine
+
+            def cb() -> None:
+                if not self.frozen and not rollover.in_progress:
+                    slot = tag.get(block)
+                    m = dram.mnow
+                    if n > m:
+                        m = n
+                    if slot is not None:
+                        e = c_exp[slot]
+                        if e > m:
+                            m = e
+                        v = c_ver[slot]
+                        if v > m:
+                            m = v
+                    if m + lease_max2 < threshold:
+                        if slot is not None:
+                            st = c_state[slot]
+                            blocked = (st != _L2_V if atomic
+                                       else st == _L2_IAV)
+                        elif atomic:
+                            blocked = len(entries) >= capacity
+                        else:
+                            blocked = (len(entries) >= capacity
+                                       and block not in entries)
+                        if blocked:
+                            cyc = engine.now + RETRY_DELAY
+                            if ring is not None and cyc < engine._horizon:
+                                engine._live += 1
+                                b = ring[cyc & _RING_MASK]
+                                if not b:
+                                    heappush(engine._ring_cycles, cyc)
+                                b.append(cb)
+                            else:
+                                engine.schedule_call(cyc, cb)
+                            return
+                self.on_message(msg)
+            meta["_retry_cb"] = cb
+        engine = self.engine
+        engine.schedule_call(engine.now + RETRY_DELAY, cb)
+
+    # ------------------------------------------------------------------
+    def _on_gets(self, msg: Message, m_now: int,
+                 m_exp: Optional[int]) -> None:
+        meta = msg.meta
+        if not meta.get("_counted"):
+            meta["_counted"] = True
+            self.stats.gets += 1
+            if meta.get("expired"):
+                self.stats.gets_expired += 1
+        block = msg.addr
+        cache = self.cache
+        slot = cache._tag.get(block)
+        st = _L2_NONE if slot is None else cache.c_state[slot]
+        act = _RCC_L2_GETS[st]
+
+        if act == _A_GRANT:
+            self.stats.hits += 1
+            self._grant_lease_flat(msg, slot, m_now, m_exp)
+            return
+        if act == _A_RETRY:
+            self._retry(msg)
+            return
+        if act == _A_MERGE_RD:
+            entry = self.mshr.allocate(block)
+            if m_now > entry.lastrd:
+                entry.lastrd = m_now
+            entry.has_read = True
+            entry.waiting_loads.append(msg)
+            return
+        # A_FETCH: miss, fetch from DRAM.
+        mshr = self.mshr
+        if not (len(mshr._entries) < mshr.capacity
+                or block in mshr._entries) \
+                or not cache.can_allocate(block):
+            self._retry(msg)
+            return
+        self.stats.misses += 1
+        slot = cache.insert_slot(block, _L2_IV, self._on_evict)
+        cache.c_pinned[slot] = True
+        entry = mshr.allocate(block)
+        if m_now > entry.lastrd:
+            entry.lastrd = m_now
+        entry.has_read = True
+        entry.waiting_loads.append(msg)
+        self.fetch_from_dram(block, self._on_dram_data)
+
+    def _grant_lease_flat(self, msg: Message, slot: int, m_now: int,
+                          m_exp: Optional[int]) -> None:
+        cache = self.cache
+        view = cache._views[slot]
+        pc = msg.meta.get("pc")
+        lease = self.predictor.lease_for(view, m_now, pc)
+        prev_exp = cache.c_exp[slot]
+        ver = cache.c_ver[slot]
+        exp = prev_exp
+        t = ver + lease
+        if t > exp:
+            exp = t
+        t = m_now + lease
+        if t > exp:
+            exp = t
+        cache.c_exp[slot] = exp
+        cache.c_lru[slot] = next(_lru_ticks)
+        arrival = self.next_arrival()
+        renewing = (self.renew_enabled and m_exp is not None
+                    and m_exp > ver)
+        if m_exp is not None and m_exp <= ver:
+            self.predictor.on_expired_miss(view, pc)
+        if self.sanitizer is not None:
+            self._emit(EV.L2_RENEW_GRANT if renewing else EV.L2_READ_GRANT,
+                       msg.addr, ver=ver, exp=exp, m_now=m_now,
+                       prev_exp=prev_exp, lease=lease,
+                       peer=msg.src[1], epoch=self.rollover.epoch)
+        if renewing:
+            self.stats.renew_grants += 1
+            self.predictor.on_renew(view, pc)
+            self.send(msg.src, MsgKind.RENEW, msg.addr, exp=exp,
+                      meta={"epoch": self.rollover.epoch,
+                            "arrival": arrival},
+                      delay=self.cfg.l2_per_bank.hit_latency)
+        else:
+            self.send(msg.src, MsgKind.DATA, msg.addr, exp=exp,
+                      ver=ver, value=cache.c_value[slot],
+                      meta={"epoch": self.rollover.epoch,
+                            "arrival": arrival},
+                      delay=self.cfg.l2_per_bank.hit_latency)
+
+    # ------------------------------------------------------------------
+    def _on_write(self, msg: Message, m_now: int) -> None:
+        meta = msg.meta
+        if not meta.get("_counted"):
+            meta["_counted"] = True
+            self.stats.writes += 1
+        block = msg.addr
+        cache = self.cache
+        slot = cache._tag.get(block)
+        st = _L2_NONE if slot is None else cache.c_state[slot]
+        act = _RCC_L2_WRITE[st]
+
+        if act == _A_APPLY:
+            self.stats.hits += 1
+            arrival = self.next_arrival()
+            prev_ver = cache.c_ver[slot]
+            prev_exp = cache.c_exp[slot]
+            # Rules 2+3: past the writer's now, the last write, and every
+            # outstanding lease — computed locally, acknowledged instantly.
+            ver = prev_exp + 1
+            if prev_ver > ver:
+                ver = prev_ver
+            if m_now > ver:
+                ver = m_now
+            cache.c_ver[slot] = ver
+            cache.c_value[slot] = msg.value
+            cache.c_dirty[slot] = True
+            cache.c_lru[slot] = next(_lru_ticks)
+            self.predictor.on_write(cache._views[slot])
+            if self.sanitizer is not None:
+                self._emit(EV.L2_WRITE_APPLY, block, ver=ver,
+                           prev_ver=prev_ver, prev_exp=prev_exp,
+                           m_now=m_now, arrival=arrival,
+                           epoch=self.rollover.epoch)
+            self._send_ack(msg, ver, arrival)
+            return
+        if act == _A_RETRY:
+            self._retry(msg)
+            return
+        if act == _A_MERGE_WR:
+            self._merge_write(msg, m_now)
+            return
+        # A_FETCH: allocate, ack against lastwr/mnow, fetch in background.
+        mshr = self.mshr
+        if not (len(mshr._entries) < mshr.capacity
+                or block in mshr._entries) \
+                or not cache.can_allocate(block):
+            self._retry(msg)
+            return
+        self.stats.misses += 1
+        slot = cache.insert_slot(block, _L2_IV, self._on_evict)
+        cache.c_pinned[slot] = True
+        mshr.allocate(block)
+        self._merge_write(msg, m_now)
+        self.fetch_from_dram(block, self._on_dram_data)
+
+    # ------------------------------------------------------------------
+    def _on_atomic(self, msg: Message, m_now: int) -> None:
+        meta = msg.meta
+        if not meta.get("_counted"):
+            meta["_counted"] = True
+            self.stats.atomics += 1
+        block = msg.addr
+        cache = self.cache
+        slot = cache._tag.get(block)
+        st = _L2_NONE if slot is None else cache.c_state[slot]
+        act = _RCC_L2_ATOMIC[st]
+
+        if act == _A_APPLY:
+            self.stats.hits += 1
+            arrival = self.next_arrival()
+            prev_ver = cache.c_ver[slot]
+            prev_exp = cache.c_exp[slot]
+            ver = prev_exp + 1
+            if prev_ver > ver:
+                ver = prev_ver
+            if m_now > ver:
+                ver = m_now
+            old_value = cache.c_value[slot]
+            cache.c_ver[slot] = ver
+            cache.c_value[slot] = msg.value
+            cache.c_dirty[slot] = True
+            cache.c_lru[slot] = next(_lru_ticks)
+            self.predictor.on_write(cache._views[slot])
+            if self.sanitizer is not None:
+                self._emit(EV.L2_ATOMIC_APPLY, block, ver=ver,
+                           prev_ver=prev_ver, prev_exp=prev_exp,
+                           m_now=m_now, arrival=arrival,
+                           epoch=self.rollover.epoch)
+            self.send(msg.src, MsgKind.DATA, block, exp=prev_exp,
+                      ver=ver, value=old_value,
+                      meta={"atomic": True,
+                            "record": msg.meta.get("record"),
+                            "warp": msg.meta.get("warp"),
+                            "epoch": self.rollover.epoch,
+                            "arrival": arrival},
+                      delay=self.cfg.l2_per_bank.hit_latency)
+            return
+        if act == _A_RETRY:  # IV or IAV: stall all further requests
+            self._retry(msg)
+            return
+        # A_FETCH: miss in I — fetch and run the RMW when data arrives.
+        if not self.mshr.has_free() or not cache.can_allocate(block):
+            self._retry(msg)
+            return
+        self.stats.misses += 1
+        slot = cache.insert_slot(block, _L2_IAV, self._on_evict)
+        cache.c_pinned[slot] = True
+        entry = self.mshr.allocate(block)
+        if m_now > entry.lastwr:
+            entry.lastwr = m_now
+        entry.has_write = True
+        entry.meta["atomic_msg"] = msg
+        self.fetch_from_dram(block, self._on_dram_data)

@@ -156,6 +156,87 @@ class TestCorruption:
         assert cache.get(key) is None
 
 
+class TestSizeBound:
+    """The cache directory respects its entry/byte bounds, evicting
+    oldest-mtime entries first, with evictions visible in the counters
+    and the sweep summary line."""
+
+    def _fill(self, cache, base_result, n):
+        """Write ``n`` entries under distinct keys with strictly
+        increasing mtimes (set explicitly — filesystem timestamp
+        granularity is too coarse to rely on write order)."""
+        keys = [f"{i:02d}" + "0" * 62 for i in range(n)]
+        for i, key in enumerate(keys):
+            assert cache.put(key, base_result)
+            os.utime(cache.path_for(key), ns=(i * 10 ** 9, i * 10 ** 9))
+        return keys
+
+    def test_entry_bound_drops_oldest(self, tmp_path, base_result):
+        cache = ResultCache(str(tmp_path), max_entries=3, max_bytes=0)
+        keys = self._fill(cache, base_result, 3)
+        assert cache.evictions == 0
+        # A fourth entry pushes the oldest (keys[0]) out.
+        assert cache.put("ff" + "0" * 62, base_result)
+        assert cache.evictions == 1
+        assert not os.path.exists(cache.path_for(keys[0]))
+        for key in keys[1:]:
+            assert os.path.exists(cache.path_for(key))
+        assert os.path.exists(cache.path_for("ff" + "0" * 62))
+
+    def test_byte_bound_drops_oldest(self, tmp_path, base_result):
+        probe = ResultCache(str(tmp_path), max_entries=0, max_bytes=0)
+        probe.put("0" * 64, base_result)
+        entry_bytes = os.path.getsize(probe.path_for("0" * 64))
+        probe.clear()
+
+        # Room for two entries but not three.
+        cache = ResultCache(str(tmp_path), max_entries=0,
+                            max_bytes=2 * entry_bytes + entry_bytes // 2)
+        keys = self._fill(cache, base_result, 2)
+        assert cache.evictions == 0
+        assert cache.put("ee" + "0" * 62, base_result)
+        assert cache.evictions == 1
+        assert not os.path.exists(cache.path_for(keys[0]))
+        assert os.path.exists(cache.path_for(keys[1]))
+
+    def test_zero_disables_bounds(self, tmp_path, base_result):
+        cache = ResultCache(str(tmp_path), max_entries=0, max_bytes=0)
+        self._fill(cache, base_result, 6)
+        assert cache.evictions == 0
+        assert len([f for f in os.listdir(str(tmp_path))
+                    if f.endswith(".json")]) == 6
+
+    def test_env_bounds_respected(self, tmp_path, base_result, monkeypatch):
+        monkeypatch.setenv("RCC_CACHE_MAX_ENTRIES", "2")
+        monkeypatch.setenv("RCC_CACHE_MAX_BYTES", "0")
+        cache = ResultCache(str(tmp_path))
+        assert cache.max_entries == 2 and cache.max_bytes == 0
+        self._fill(cache, base_result, 2)
+        assert cache.put("ee" + "0" * 62, base_result)
+        assert cache.evictions == 1
+
+    def test_sweep_stats_carry_cache_counters(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cold = SweepExecutor(jobs=1, cache=cache)
+        cold.run_cells([BASE])
+        assert cold.last_stats.cache_hits == 0
+        assert cold.last_stats.cache_misses == 1
+        assert cold.last_stats.cache_evictions == 0
+        assert "cache 0 hit/1 miss" in cold.last_stats.render()
+
+        warm = SweepExecutor(jobs=1, cache=ResultCache(str(tmp_path)))
+        warm.run_cells([BASE])
+        assert warm.last_stats.cache_hits == 1
+        assert warm.last_stats.cache_misses == 0
+        assert "cache 1 hit/0 miss" in warm.last_stats.render()
+
+    def test_stats_without_cache_omit_counters(self):
+        ex = SweepExecutor(jobs=1, cache=None)
+        ex.run_cells([BASE])
+        assert ex.last_stats.cache_hits is None
+        assert "cache" not in ex.last_stats.render()
+
+
 class TestWarmSweep:
     def test_warm_rerun_under_quarter_of_cold(self, tmp_path):
         """Acceptance: a cache-warm full protocol sweep finishes in <25%

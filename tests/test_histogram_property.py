@@ -1,0 +1,180 @@
+"""Randomized property battery for the log-bucketed histogram.
+
+Every property is checked against an exact oracle: the raw sample list,
+clamped to ``max_value`` exactly as :meth:`Histogram.add` clamps, kept
+sorted. The histogram is a lossy structure, so the contract is split:
+
+* **exact**: ``count``, ``total``, ``min``, ``max``, ``mean``,
+  serialization round-trips, weighted ``add``, and same-width ``merge``
+  (bucket counts are closed under addition, so merging must equal
+  building from the concatenated samples);
+* **bounded**: ``percentile(p)`` interpolates inside one power-of-two
+  bucket, so the estimate must land within the nominal bounds of the
+  bucket holding the oracle's nearest-rank sample (a rank of slack
+  absorbs float round-off in the rank target), never leave
+  ``[min, max]``, and be monotone in ``p``.
+
+Distributions are chosen to hit the structure's edges: constants
+(single-bucket degenerate interpolation), zeros (bucket 0 is the single
+value 0), log-uniform spreads (most buckets occupied), values beyond
+``max_value`` (saturation clamp), and cross-width merges (overflow
+folding into the saturation bucket).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.stats.histogram import Histogram
+
+SEEDS = list(range(8))
+PERCENTILES = [0.5, 1, 5, 10, 25, 50, 75, 90, 95, 99, 99.9, 100]
+
+
+def sample_sets(seed: int):
+    """Named sample lists covering the histogram's edge cases."""
+    rng = random.Random(seed)
+    yield "uniform-small", [rng.randrange(0, 64) for _ in range(200)]
+    yield "log-uniform", [
+        int(2 ** (rng.random() * 20)) for _ in range(300)]
+    yield "constant", [rng.randrange(0, 1 << 16)] * 50
+    yield "zeros", [0] * 20 + [rng.randrange(1, 8) for _ in range(5)]
+    yield "heavy-tail", ([rng.randrange(1, 16) for _ in range(150)]
+                         + [rng.randrange(1 << 18, 1 << 22)
+                            for _ in range(10)])
+    yield "singleton", [rng.randrange(0, 1 << 20)]
+
+
+def build(samples, max_value=1 << 24):
+    h = Histogram(max_value=max_value)
+    for s in samples:
+        h.add(s)
+    oracle = sorted(min(s, max_value) for s in samples)
+    return h, oracle
+
+
+def oracle_rank_value(oracle, p, slack=0):
+    """Nearest-rank percentile sample, offset by ``slack`` ranks."""
+    target = len(oracle) * p / 100.0
+    rank = max(1, math.ceil(target - 1e-9)) + slack
+    rank = max(1, min(len(oracle), rank))
+    return oracle[rank - 1]
+
+
+def nominal_bounds(value: int, hist: Histogram):
+    """The add-time bucket bounds of ``value`` (saturation-extended)."""
+    i = value.bit_length()
+    lo = 0 if i == 0 else 1 << (i - 1)
+    hi = 0 if i == 0 else (1 << i) - 1
+    if i == len(hist._buckets) - 1 and hist.max is not None:
+        hi = max(hi, hist.max)
+    return lo, hi
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestAgainstOracle:
+    def test_exact_aggregates(self, seed):
+        for name, samples in sample_sets(seed):
+            h, oracle = build(samples)
+            assert h.count == len(oracle), name
+            assert h.total == sum(oracle), name
+            assert h.min == oracle[0], name
+            assert h.max == oracle[-1], name
+            assert h.mean == pytest.approx(sum(oracle) / len(oracle)), name
+            assert sum(n for _, _, n in h.buckets()) == len(oracle), name
+
+    def test_percentiles_bracket_oracle(self, seed):
+        """The estimate stays inside the bucket of the oracle's
+        nearest-rank sample (one rank of slack either side for float
+        round-off in the rank target), and inside [min, max]."""
+        for name, samples in sample_sets(seed):
+            h, oracle = build(samples)
+            for p in PERCENTILES:
+                est = h.percentile(p)
+                lo = min(nominal_bounds(oracle_rank_value(oracle, p, s), h)[0]
+                         for s in (-1, 0, 1))
+                hi = max(nominal_bounds(oracle_rank_value(oracle, p, s), h)[1]
+                         for s in (-1, 0, 1))
+                assert lo <= est <= hi, (
+                    f"{name} p{p}: est {est} outside [{lo}, {hi}]")
+                assert h.min <= est <= h.max, (
+                    f"{name} p{p}: est {est} outside [{h.min}, {h.max}]")
+
+    def test_percentiles_monotone(self, seed):
+        for name, samples in sample_sets(seed):
+            h, _ = build(samples)
+            ests = [h.percentile(p) for p in PERCENTILES]
+            assert ests == sorted(ests), name
+            assert ests[-1] == h.max, name
+
+    def test_weighted_add_equals_repeats(self, seed):
+        rng = random.Random(seed)
+        pairs = [(rng.randrange(0, 1 << 20), rng.randrange(1, 5))
+                 for _ in range(50)]
+        weighted = Histogram()
+        repeated = Histogram()
+        for value, k in pairs:
+            weighted.add(value, count=k)
+            for _ in range(k):
+                repeated.add(value)
+        assert weighted.to_dict() == repeated.to_dict()
+
+    def test_same_width_merge_equals_concat(self, seed):
+        for (name_a, a), (name_b, b) in zip(sample_sets(seed),
+                                            sample_sets(seed + 1000)):
+            ha, _ = build(a)
+            hb, _ = build(b)
+            hall, _ = build(a + b)
+            ha.merge(hb)
+            assert ha.to_dict() == hall.to_dict(), (name_a, name_b)
+
+    def test_cross_width_merge_keeps_aggregates(self, seed):
+        """Folding a wider histogram into a narrower one must keep
+        count/total/min/max exact and percentiles sane, even though the
+        overflow collapses into the saturation bucket."""
+        rng = random.Random(seed)
+        wide_samples = [int(2 ** (rng.random() * 18)) for _ in range(100)]
+        narrow_samples = [rng.randrange(0, 200) for _ in range(100)]
+        wide, wide_oracle = build(wide_samples, max_value=1 << 20)
+        narrow, narrow_oracle = build(narrow_samples, max_value=1 << 8)
+        narrow.merge(wide)
+        oracle = sorted(narrow_oracle + wide_oracle)
+        assert narrow.count == len(oracle)
+        assert narrow.total == sum(oracle)
+        assert narrow.min == oracle[0]
+        assert narrow.max == oracle[-1]
+        ests = [narrow.percentile(p) for p in PERCENTILES]
+        assert ests == sorted(ests)
+        assert all(narrow.min <= e <= narrow.max for e in ests)
+        assert narrow.percentile(100) == narrow.max
+
+    def test_serialization_roundtrip(self, seed):
+        for name, samples in sample_sets(seed):
+            h, _ = build(samples)
+            back = Histogram.from_dict(h.to_dict())
+            assert back.to_dict() == h.to_dict(), name
+            assert back.summary() == h.summary(), name
+            for p in PERCENTILES:
+                assert back.percentile(p) == h.percentile(p), name
+
+
+class TestClampEdges:
+    def test_over_max_values_clamp_exactly(self):
+        h = Histogram(max_value=1 << 10)
+        h.add(5000)
+        h.add(123456, count=3)
+        assert h.count == 4
+        assert h.total == 4 * (1 << 10)
+        assert h.min == h.max == 1 << 10
+        for p in PERCENTILES:
+            assert h.percentile(p) == float(1 << 10)
+
+    def test_single_zero(self):
+        h = Histogram()
+        h.add(0)
+        assert h.min == h.max == 0
+        for p in PERCENTILES:
+            assert h.percentile(p) == 0.0

@@ -1,0 +1,88 @@
+"""Golden-payload battery: the flat kernel is bit-identical to the oracle.
+
+Every hash in ``tests/golden/flat_kernel_golden.json`` was captured from
+the **object kernel** (``RCC_FLAT_KERNEL=0``) — the dict-of-dataclass
+controllers the flat-array kernel transliterates. The grid covers the
+three protocols the flat kernel re-implements (RCC, RCC-WO, MESI) across
+the battery workloads, every registered lease policy, and two
+intensities on the small machine. Recomputing each cell with the flat
+kernel forced on and comparing payload SHA-256 proves the restructuring
+changed *nothing observable* — not cycles, not stats, not a single
+payload field.
+
+If a deliberate protocol behavior change lands later, regenerate with::
+
+    PYTHONPATH=src python tests/golden/regen_flat_kernel_golden.py
+
+(the regen script forces the object kernel, so it always captures the
+oracle even on a post-refactor tree) and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.lease_policy import available_lease_policies
+from repro.exec import SimCell, run_cell
+from repro.kernel import flat_kernel_enabled
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "flat_kernel_golden.json")
+
+with open(GOLDEN_PATH) as _fh:
+    GOLDEN = json.load(_fh)
+
+assert GOLDEN["kind"] == "flat-kernel-golden" and GOLDEN["schema"] == 1
+
+
+@pytest.fixture(autouse=True)
+def _force_flat_kernel(monkeypatch):
+    """Pin the kernel under test: flat on, legacy escape hatch off."""
+    monkeypatch.setenv("RCC_FLAT_KERNEL", "1")
+    monkeypatch.delenv("RCC_LEGACY_ENGINE", raising=False)
+    assert flat_kernel_enabled()
+
+
+def payload_hash(result) -> str:
+    """The canonical payload digest the golden file stores."""
+    blob = json.dumps(result.to_payload(), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def cell_for(key: str) -> SimCell:
+    """Rebuild the SimCell a golden key (``RCC/bfs/fixed@0.25``) names."""
+    protocol, workload, rest = key.split("/")
+    policy, intensity = rest.rsplit("@", 1)
+    return SimCell(cfg=GPUConfig.small(), protocol=protocol,
+                   workload=workload, intensity=float(intensity), seed=1234,
+                   ts_overrides=(("lease_policy", policy),))
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN["cells"]))
+def test_flat_kernel_bit_identical(key):
+    expected = GOLDEN["cells"][key]
+    result = run_cell(cell_for(key))
+    assert result.mem_ops == expected["mem_ops"], \
+        f"{key}: mem_ops drifted (workload generation changed)"
+    assert result.cycles == expected["cycles"], \
+        f"{key}: cycles drifted (flat kernel timing diverged)"
+    assert payload_hash(result) == expected["payload_sha256"], (
+        f"{key}: result payload differs from the object-kernel oracle — "
+        "the flat-array kernel is no longer bit-identical")
+
+
+def test_golden_grid_shape():
+    """The golden grid is the full 3 x 3 x policies x 2 cross it claims."""
+    keys = GOLDEN["cells"].keys()
+    protocols = {k.split("/")[0] for k in keys}
+    workloads = {k.split("/")[1] for k in keys}
+    policies = {k.split("/")[2].rsplit("@", 1)[0] for k in keys}
+    assert protocols == {"RCC", "RCC-WO", "MESI"}
+    assert workloads == {"bfs", "stn", "dlb"}
+    assert policies == set(available_lease_policies())
+    assert len(keys) == 3 * 3 * len(policies) * 2

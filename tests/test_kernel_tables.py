@@ -1,0 +1,172 @@
+"""Pins for the flat kernel's integer encodings and transition tables.
+
+The hot module hard-codes state codes as integers so the optional
+compiled build never touches enum objects; the generic
+:class:`FlatTagArray` derives its encode/decode maps from enum
+definition order at runtime. These tests weld the two together — if
+someone reorders a state enum, inserts a member, or edits a table, the
+mismatch fails here rather than as a silent mis-dispatch — and pin
+victim-selection parity between the kernels with a randomized replay.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.types import L1State, L2State
+from repro.config import CacheConfig
+from repro.kernel import hot
+from repro.kernel.layout import FlatTagArray
+from repro.mem.cache_array import CacheArray
+
+# ----------------------------------------------------------------------
+# State encodings
+# ----------------------------------------------------------------------
+
+L1_CODES = {"I": hot.L1_I, "V": hot.L1_V, "IV": hot.L1_IV,
+            "II": hot.L1_II, "VI": hot.L1_VI}
+L2_CODES = {"I": hot.L2_I, "V": hot.L2_V, "IV": hot.L2_IV,
+            "IAV": hot.L2_IAV}
+
+
+def test_l1_codes_are_definition_order():
+    assert [m.name for m in L1State] == ["I", "V", "IV", "II", "VI"]
+    for i, member in enumerate(L1State):
+        assert L1_CODES[member.name] == i
+    assert hot.L1_NONE == len(L1State)
+
+
+def test_l2_codes_are_definition_order():
+    assert [m.name for m in L2State] == ["I", "V", "IV", "IAV"]
+    for i, member in enumerate(L2State):
+        assert L2_CODES[member.name] == i
+    assert hot.L2_NONE == len(L2State)
+
+
+@pytest.mark.parametrize("enum_cls,none_code", [(L1State, hot.L1_NONE),
+                                                (L2State, hot.L2_NONE)])
+def test_layout_encoding_matches_hot(enum_cls, none_code):
+    """FlatTagArray's runtime-derived maps agree with the constants."""
+    arr = FlatTagArray(CacheConfig(size_bytes=1024, assoc=2,
+                                   block_bytes=128), enum_cls.I)
+    assert arr.decode == tuple(enum_cls)
+    assert arr.encode == {m: i for i, m in enumerate(enum_cls)}
+    assert arr.state_none == none_code
+    assert arr.inv_code == arr.encode[enum_cls.I]
+
+
+# ----------------------------------------------------------------------
+# Transition tables
+# ----------------------------------------------------------------------
+
+ACTIONS = {hot.A_UNREACHED, hot.A_VHIT, hot.A_MISS, hot.A_GRANT,
+           hot.A_MERGE_RD, hot.A_RETRY, hot.A_FETCH, hot.A_APPLY,
+           hot.A_MERGE_WR}
+
+L1_TABLES = {"RCC_L1_LOAD": hot.RCC_L1_LOAD,
+             "MESI_L1_LOAD": hot.MESI_L1_LOAD}
+L2_TABLES = {"RCC_L2_GETS": hot.RCC_L2_GETS,
+             "RCC_L2_WRITE": hot.RCC_L2_WRITE,
+             "RCC_L2_ATOMIC": hot.RCC_L2_ATOMIC,
+             "MESI_L2_GETS": hot.MESI_L2_GETS,
+             "MESI_L2_GETX": hot.MESI_L2_GETX}
+
+
+@pytest.mark.parametrize("name,table", sorted(L1_TABLES.items()))
+def test_l1_tables_cover_every_state(name, table):
+    assert len(table) == len(L1State) + 1, \
+        f"{name}: one cell per L1 state plus the no-tag-entry cell"
+    assert set(table) <= ACTIONS
+
+
+@pytest.mark.parametrize("name,table", sorted(L2_TABLES.items()))
+def test_l2_tables_cover_every_state(name, table):
+    assert len(table) == len(L2State) + 1, \
+        f"{name}: one cell per L2 state plus the no-tag-entry cell"
+    assert set(table) <= ACTIONS
+
+
+def test_table_semantics_spot_checks():
+    """The cells the protocols lean on hardest, pinned one by one."""
+    # L1 load: valid line is a (lease-checked) hit; IV and absent miss.
+    assert hot.RCC_L1_LOAD[hot.L1_V] == hot.A_VHIT
+    assert hot.RCC_L1_LOAD[hot.L1_IV] == hot.A_MISS
+    assert hot.RCC_L1_LOAD[hot.L1_NONE] == hot.A_MISS
+    # RCC L2: V grants/applies instantly; IV merges; IAV blocks (retry).
+    assert hot.RCC_L2_GETS[hot.L2_V] == hot.A_GRANT
+    assert hot.RCC_L2_GETS[hot.L2_IV] == hot.A_MERGE_RD
+    assert hot.RCC_L2_GETS[hot.L2_IAV] == hot.A_RETRY
+    assert hot.RCC_L2_WRITE[hot.L2_V] == hot.A_APPLY
+    assert hot.RCC_L2_WRITE[hot.L2_IV] == hot.A_MERGE_WR
+    # Atomics never merge: anything not V retries or refetches.
+    assert hot.RCC_L2_ATOMIC[hot.L2_V] == hot.A_APPLY
+    assert hot.RCC_L2_ATOMIC[hot.L2_IV] == hot.A_RETRY
+    assert hot.RCC_L2_ATOMIC[hot.L2_IAV] == hot.A_RETRY
+    # MESI has no IAV occupancy; reaching it is a protocol bug.
+    assert hot.MESI_L2_GETS[hot.L2_IAV] == hot.A_UNREACHED
+    assert hot.MESI_L2_GETX[hot.L2_IAV] == hot.A_UNREACHED
+
+
+# ----------------------------------------------------------------------
+# Victim-selection parity (object vs flat), randomized replay
+# ----------------------------------------------------------------------
+
+def _replay(arr, script):
+    """Apply a script; return (evicted addr sequence, final tag map).
+
+    A fully-pinned set makes insert raise; that is part of the observable
+    behavior being compared, so it lands in the log instead of aborting.
+    """
+    from repro.errors import SimulationError
+    evicted = []
+    for op, addr in script:
+        if op == "insert":
+            try:
+                arr.insert(addr, L1State.V,
+                           lambda ln: evicted.append(ln.addr))
+            except SimulationError:
+                evicted.append(("pinned-full", addr))
+        elif op == "touch":
+            line = arr.lookup(addr)
+            if line is not None:
+                line.touch()
+        elif op == "invalidate":
+            line = arr.lookup(addr)
+            if line is not None:
+                line.state = L1State.I
+        elif op == "pin":
+            line = arr.lookup(addr)
+            if line is not None and not line.pinned:
+                line.pinned = True
+        elif op == "unpin":
+            line = arr.lookup(addr)
+            if line is not None:
+                line.pinned = False
+        elif op == "remove":
+            arr.remove(addr)
+    final = {ln.addr: ln.state for ln in arr.lines()}
+    return evicted, final
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_victim_parity_object_vs_flat(seed):
+    """The same op script evicts the same victims in the same order from
+    both arrays. Replays are sequential (object first, then flat), so the
+    shared global LRU counter hands each array different absolute ticks —
+    only relative order matters, which is the point being pinned."""
+    rng = random.Random(seed)
+    cfg = CacheConfig(size_bytes=2048, assoc=4, block_bytes=128)
+    addrs = [i * 128 for i in range(16)]  # 4 blocks per set, 4 sets
+    ops = ("insert", "insert", "insert", "touch", "touch", "invalidate",
+           "pin", "unpin", "remove")
+    script = [(rng.choice(ops), rng.choice(addrs)) for _ in range(300)]
+    # Unpin everything at the end so the final inserts cannot raise on a
+    # fully-pinned set in one array but not the other mid-comparison.
+    obj = CacheArray(cfg, L1State.I)
+    flat = FlatTagArray(cfg, L1State.I)
+    obj_ev, obj_final = _replay(obj, script)
+    flat_ev, flat_final = _replay(flat, script)
+    assert obj_ev == flat_ev
+    assert obj_final == flat_final

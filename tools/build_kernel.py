@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Build the optional compiled flat-kernel core (``repro.kernel.hot_c``).
+
+``repro/kernel/hot.py`` is written against the compilable subset of
+Python — integers, booleans, lists, tuples, no objects — precisely so
+this script can translate it to a C extension. The compiled module is a
+pure accelerator: ``repro.kernel`` imports ``hot_c`` when present and
+silently falls back to the interpreted module when not, so this build
+is **always optional** and the repository must keep working without it.
+
+Toolchains are tried in order:
+
+1. **mypyc** (ships with ``mypy``): compiles the annotated module
+   as-is.
+2. **Cython** (pure-Python mode): compiles the same file with
+   ``language_level=3``; no ``.pyx`` fork to keep in sync.
+
+When neither toolchain (or no C compiler) is available the script
+prints what it skipped and exits 0 — pass ``--require`` (CI does, after
+installing a toolchain) to turn that skip into a failure. After a
+successful build the new extension is import-checked and its tables and
+scan functions are verified against the interpreted module on random
+inputs; a mismatch removes the extension and fails the build, so a
+broken toolchain can never leave a divergent kernel behind.
+
+Usage::
+
+    python tools/build_kernel.py            # build if possible
+    python tools/build_kernel.py --require  # fail if it cannot build
+    python tools/build_kernel.py --clean    # remove any built extension
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import importlib.util
+import os
+import random
+import shutil
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+KERNEL_DIR = os.path.join(ROOT, "src", "repro", "kernel")
+HOT_SRC = os.path.join(KERNEL_DIR, "hot.py")
+
+
+def have_module(name: str) -> bool:
+    try:
+        return importlib.util.find_spec(name) is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def built_extensions() -> list:
+    return sorted(glob.glob(os.path.join(KERNEL_DIR, "hot_c.*.so"))
+                  + glob.glob(os.path.join(KERNEL_DIR, "hot_c.so"))
+                  + glob.glob(os.path.join(KERNEL_DIR, "hot_c.*.pyd")))
+
+
+def clean() -> None:
+    for path in built_extensions():
+        print(f"removing {os.path.relpath(path, ROOT)}")
+        os.unlink(path)
+
+
+def _run_setup(workdir: str, setup_body: str) -> bool:
+    """Run a throwaway setup.py build_ext in ``workdir``; True on success."""
+    setup_path = os.path.join(workdir, "setup.py")
+    with open(setup_path, "w", encoding="utf-8") as f:
+        f.write(setup_body)
+    proc = subprocess.run(
+        [sys.executable, "setup.py", "build_ext", "--inplace"],
+        cwd=workdir, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:])
+        return False
+    return True
+
+
+def build(toolchain: str) -> bool:
+    """Compile ``hot.py`` as module ``hot_c`` with the given toolchain and
+    install the extension next to the source. True on success."""
+    with tempfile.TemporaryDirectory(prefix="rcc-kernel-build-") as workdir:
+        # The module is compiled under its runtime name so the extension
+        # self-identifies as hot_c, not as a shadow of hot.
+        shutil.copyfile(HOT_SRC, os.path.join(workdir, "hot_c.py"))
+        if toolchain == "mypyc":
+            setup_body = (
+                "from setuptools import setup\n"
+                "from mypyc.build import mypycify\n"
+                "setup(name='hot_c', ext_modules=mypycify(['hot_c.py']))\n")
+        else:
+            setup_body = (
+                "from setuptools import setup\n"
+                "from Cython.Build import cythonize\n"
+                "setup(name='hot_c', ext_modules=cythonize(\n"
+                "    ['hot_c.py'], language_level=3))\n")
+        if not _run_setup(workdir, setup_body):
+            return False
+        artifacts = (glob.glob(os.path.join(workdir, "hot_c.*.so"))
+                     + glob.glob(os.path.join(workdir, "hot_c.*.pyd")))
+        if not artifacts:
+            sys.stderr.write("build_ext succeeded but produced no "
+                             "extension artifact\n")
+            return False
+        dest = os.path.join(KERNEL_DIR, os.path.basename(artifacts[0]))
+        shutil.copyfile(artifacts[0], dest)
+        print(f"built {os.path.relpath(dest, ROOT)} ({toolchain})")
+        return True
+
+
+def verify() -> bool:
+    """Import the freshly built extension and check it against the
+    interpreted module: identical tables/constants, and identical scan
+    results on randomized occupancy patterns."""
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    for mod in [m for m in list(sys.modules) if m.startswith("repro")]:
+        del sys.modules[mod]
+    os.environ.pop("RCC_KERNEL_COMPILED", None)
+    import repro.kernel as kernel
+    import repro.kernel.hot_c as compiled
+
+    if not kernel.COMPILED:
+        sys.stderr.write("extension built but repro.kernel did not "
+                         "select it\n")
+        return False
+
+    # Load the interpreted module directly from its file (the package
+    # import may have aliased `repro.kernel.hot` to the extension).
+    spec = importlib.util.spec_from_file_location("hot_pure", HOT_SRC)
+    pure = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(pure)
+
+    names = [n for n in dir(pure)
+             if n.isupper() or n in ("find_free_way", "can_fill",
+                                     "pick_slot", "pick_victim")]
+    for name in names:
+        if not hasattr(compiled, name):
+            sys.stderr.write(f"hot_c missing {name}\n")
+            return False
+        if name.isupper() and getattr(pure, name) != getattr(compiled, name):
+            sys.stderr.write(f"hot_c constant {name} diverges\n")
+            return False
+
+    rng = random.Random(20260808)
+    for _ in range(2000):
+        assoc = rng.choice([1, 2, 4, 8])
+        n = assoc * 4
+        base = rng.randrange(0, 4) * assoc
+        used = [rng.random() < 0.8 for _ in range(n)]
+        state = [rng.randrange(0, 5) for _ in range(n)]
+        lru = rng.sample(range(1000), n)
+        pinned = [rng.random() < 0.2 for _ in range(n)]
+        inv = rng.randrange(0, 5)
+        for fn in ("find_free_way", "can_fill", "pick_slot", "pick_victim"):
+            if fn == "find_free_way":
+                args = (used, base, assoc)
+            elif fn == "can_fill":
+                args = (used, pinned, base, assoc)
+            else:
+                args = (used, state, lru, pinned, base, assoc, inv)
+            got = getattr(compiled, fn)(*args)
+            want = getattr(pure, fn)(*args)
+            if got != want:
+                sys.stderr.write(
+                    f"{fn} diverges: compiled {got} != pure {want} "
+                    f"on {args}\n")
+                return False
+    print("verified: hot_c matches the interpreted kernel "
+          "(tables + 2000 randomized scans)")
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 1) when no toolchain can build "
+                             "the extension")
+    parser.add_argument("--clean", action="store_true",
+                        help="remove any built extension and exit")
+    parser.add_argument("--toolchain", choices=["auto", "mypyc", "cython"],
+                        default="auto")
+    args = parser.parse_args(argv)
+
+    if args.clean:
+        clean()
+        return 0
+
+    if args.toolchain == "auto":
+        toolchains = [t for t, mod in (("mypyc", "mypyc"),
+                                       ("cython", "Cython"))
+                      if have_module(mod)]
+        if not toolchains:
+            msg = ("no compile toolchain available (install `mypy` for "
+                   "mypyc, or `cython`); the pure-Python kernel remains "
+                   "in use")
+            if args.require:
+                sys.stderr.write(msg + "\n")
+                return 1
+            print(f"skipped: {msg}")
+            return 0
+    else:
+        toolchains = [args.toolchain]
+
+    clean()  # never leave a stale extension from an older source tree
+    for toolchain in toolchains:
+        if build(toolchain):
+            if not verify():
+                clean()
+                return 1
+            return 0
+    sys.stderr.write("all toolchains failed\n")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
