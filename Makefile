@@ -7,7 +7,7 @@ JOBS     ?= 4
 
 .PHONY: test test-fast test-exec fuzz fuzz-smoke hostile hostile-smoke \
         sanitize bench report report-par clean-cache perf perf-baseline \
-        ablate ablate-smoke build-kernel clean-kernel
+        ablate ablate-smoke build-kernel clean-kernel chaos chaos-smoke
 
 test:            ## tier-1: the full test suite
 	$(PYPATH) $(PY) -m pytest -x -q
@@ -38,6 +38,15 @@ hostile:         ## a deep hostile-lab campaign, archiving any finds
 	$(PYPATH) $(PY) -m repro.fuzz.cli --workloads --runs 100 -v \
 	    --baseline benchmarks/perf_baseline.json \
 	    --save-cells tests/corpus
+
+chaos-smoke:     ## chaos/journal unit batteries + fault-injection matrix
+	$(PYPATH) $(PY) -m pytest -x -q tests/test_chaos.py \
+	    tests/test_journal.py tests/test_exec_fault.py
+	$(PYPATH) $(PY) -m repro.fuzz.cli --chaos --chaos-resume-kinds cells
+
+chaos:           ## full battery: every fault kind + resume round-trips
+	$(PYPATH) $(PY) -m repro.fuzz.cli --chaos
+	$(PYPATH) $(PY) -m pytest -x -q -m chaos
 
 bench:           ## paper figures/tables under pytest-benchmark
 	$(PYPATH) $(PY) -m pytest benchmarks/ --benchmark-only

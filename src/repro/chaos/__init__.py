@@ -1,0 +1,26 @@
+"""Deterministic chaos layer for the sweep stack.
+
+:mod:`repro.chaos.plan` defines seeded :class:`FaultPlan` specs injected
+behind ``RCC_CHAOS`` at the worker, cache, and journal boundaries;
+:mod:`repro.chaos.campaign` asserts the executor's failure contract
+under such plans (``repro-fuzz --chaos``) and drives the
+kill-and-resume equivalence round-trips.
+"""
+
+from repro.chaos.plan import (
+    CHAOS_EXIT_CODE, ChaosCrash, ChaosError, ChaosFlaky, ENV_CHAOS,
+    FAULT_KINDS, FaultPlan, FaultSpec, arm_parent, plan_from_env,
+)
+
+__all__ = [
+    "CHAOS_EXIT_CODE",
+    "ChaosCrash",
+    "ChaosError",
+    "ChaosFlaky",
+    "ENV_CHAOS",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "arm_parent",
+    "plan_from_env",
+]

@@ -48,13 +48,80 @@ class DeadlockError(SimulationError):
         super().__init__(msg)
 
 
+#: The sweep executor's failure taxonomy. Every failed cell is filed
+#: under exactly one class:
+#:
+#: - ``timeout``       — the cell exceeded its wall-clock budget and its
+#:                       worker was reaped;
+#: - ``crash``         — the worker process evaluating the cell died
+#:                       (confirmed in an isolated single-worker pool);
+#: - ``poisoned-pool`` — the cell failed only because a *sibling* cell
+#:                       broke the shared pool and it could never be
+#:                       confirmed in isolation;
+#: - ``cache-corrupt`` — the journal's recorded result digest disagrees
+#:                       with the content-keyed cache (or an embedded
+#:                       journal payload failed integrity checks);
+#: - ``exception``     — the worker function raised an ordinary Python
+#:                       exception.
+FAILURE_KINDS = ("timeout", "crash", "poisoned-pool", "cache-corrupt",
+                 "exception")
+
+
+class CellFailure:
+    """Structured description of one failed sweep cell.
+
+    Carried on :attr:`HarnessError.failures` so callers can triage
+    programmatically instead of parsing the message string.
+    """
+
+    __slots__ = ("label", "kind", "attempts", "message")
+
+    def __init__(self, label: str, kind: str, attempts: int, message: str):
+        assert kind in FAILURE_KINDS, kind
+        self.label = label
+        self.kind = kind
+        self.attempts = attempts
+        self.message = message
+
+    def describe(self) -> str:
+        return (f"{self.label} [{self.kind}, {self.attempts} attempt(s)]: "
+                f"{self.message}")
+
+    def to_json(self) -> dict:
+        return {"label": self.label, "kind": self.kind,
+                "attempts": self.attempts, "message": self.message}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CellFailure {self.describe()}>"
+
+
 class HarnessError(ReproError):
-    """A sweep cell failed in the execution engine after exhausting its
-    retry budget (worker crash, timeout, or broken process pool).
+    """One or more sweep cells failed in the execution engine after
+    exhausting their retry budget (worker crash, timeout, or broken
+    process pool).
 
     Raised instead of executor internals such as ``BrokenProcessPool`` so
     the CLI and tests see one stable, library-owned failure type.
+    ``failures`` holds one :class:`CellFailure` per failed cell, each
+    classified under the :data:`FAILURE_KINDS` taxonomy.
     """
+
+    def __init__(self, message: str, failures=None):
+        super().__init__(message)
+        self.failures = list(failures or [])
+
+    @classmethod
+    def from_failures(cls, failures) -> "HarnessError":
+        failures = list(failures)
+        msg = (f"{len(failures)} cell(s) failed: "
+               + "; ".join(f.describe() for f in failures))
+        return cls(msg, failures=failures)
+
+
+class JournalError(ReproError):
+    """A campaign journal could not be used: wrong campaign id on an
+    explicit ``--resume``, an unreadable header, or an embedded payload
+    that failed its integrity digest."""
 
 
 class ConsistencyViolation(ReproError):

@@ -9,17 +9,27 @@ from repro.exec.cells import (
     SimCell, canonical_overrides, cell_key, derive_seed, run_cell,
     sweep_cells,
 )
-from repro.exec.engine import SweepExecutor, SweepStats
+from repro.exec.engine import RetryPolicy, SweepExecutor, SweepStats
+from repro.exec.journal import (
+    CampaignJournal, campaign_id, decode_value, encode_value,
+    payload_digest,
+)
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "CampaignJournal",
     "ResultCache",
+    "RetryPolicy",
     "SimCell",
     "SweepExecutor",
     "SweepStats",
+    "campaign_id",
     "canonical_overrides",
     "cell_key",
+    "decode_value",
     "derive_seed",
+    "encode_value",
+    "payload_digest",
     "run_cell",
     "sweep_cells",
 ]

@@ -8,8 +8,25 @@ so the old entry is simply never read again. Corrupted or truncated
 files are detected on read, evicted, and recomputed — a damaged cache can
 slow a sweep down but never change its results.
 
-Writes are atomic (temp file + ``os.replace``) so a crashed or killed
-run cannot leave a half-written entry behind for the next one to trip on.
+Integrity: each entry embeds a sha256 digest over the canonical JSON
+form of its result payload, verified on every read. This catches the
+failure the envelope checks cannot: silent in-place corruption (a
+flipped bit, a hostile edit) that leaves the file valid JSON with the
+right key but a wrong result.
+
+Crash-atomicity: writes go to a temp file in the cache directory and
+are published with ``os.replace``, so a crashed or killed run leaves
+either the complete new entry or the old state — never a torn file. A
+*failed* write (disk full, permissions) is swallowed: ``put`` returns
+False, counts it in ``write_errors``, and the computed result flows back
+to the caller regardless — a sick cache never loses work. Stale ``.tmp``
+files from crashed writers are swept opportunistically.
+
+The deterministic chaos layer (:mod:`repro.chaos`) hooks the commit
+path: the ``enospc`` fault makes the write fail, and ``torn-write`` /
+``bit-flip`` damage the bytes being committed — which the digest check
+must then catch on the next read. With ``RCC_CHAOS`` unset these hooks
+are no-ops.
 
 The cache is size-bounded: after each write the directory is trimmed to
 at most ``max_entries`` files and ``max_bytes`` total payload,
@@ -24,25 +41,34 @@ the sweep summary line (:class:`repro.exec.engine.SweepStats`).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
 import tempfile
+import time
 from typing import Any, Dict, Optional
 
+from repro.chaos import plan_from_env
 from repro.sim.results import SimResult
 
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".rcc-cache"
 
 #: Bumped if the cache *file* envelope (not the result payload) changes.
-CACHE_FORMAT = 1
+#: Format 2 added the per-entry result digest.
+CACHE_FORMAT = 2
 
 #: Default size bounds. A full ``rcc-repro all`` sweep is a few hundred
 #: cells of a few tens of KiB each, so these allow many sweeps' worth of
 #: distinct configurations before anything is dropped.
 DEFAULT_MAX_ENTRIES = 4096
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Leftover ``.tmp`` files older than this are presumed to come from a
+#: crashed writer and are swept; younger ones may belong to a concurrent
+#: campaign mid-commit.
+STALE_TMP_AGE_S = 3600.0
 
 
 def _env_int(name: str, default: int) -> int:
@@ -53,6 +79,18 @@ def _env_int(name: str, default: int) -> int:
         return int(raw)
     except ValueError:
         return default
+
+
+def result_digest(payload: Any) -> str:
+    """sha256 over the canonical JSON form of a result payload.
+
+    Canonical = ``sort_keys`` with default separators, which is also
+    invariant under a JSON round-trip (int keys stringify, tuples become
+    lists *before* hashing), so the digest computed at write time matches
+    one recomputed from the loaded entry.
+    """
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 class ResultCache:
@@ -74,6 +112,9 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Writes that failed (and were swallowed — see :meth:`put`).
+        self.write_errors = 0
+        self.sweep_stale_tmp()
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
@@ -83,8 +124,9 @@ class ResultCache:
         """The cached result for ``key``, or None on miss.
 
         Any unreadable entry — bad JSON, wrong envelope, mismatched key,
-        payload that fails reconstruction — is deleted and treated as a
-        miss so the cell is recomputed instead of crashing the sweep.
+        failed result digest, payload that fails reconstruction — is
+        deleted and treated as a miss so the cell is recomputed instead
+        of crashing (or corrupting) the sweep.
         """
         path = self.path_for(key)
         try:
@@ -100,6 +142,8 @@ class ResultCache:
         try:
             if blob["format"] != CACHE_FORMAT or blob["key"] != key:
                 raise ValueError("cache envelope mismatch")
+            if result_digest(blob["result"]) != blob["digest"]:
+                raise ValueError("cache entry failed its digest")
             result = SimResult.from_payload(blob["result"])
         except (KeyError, TypeError, ValueError, AttributeError):
             self._evict(path)
@@ -110,31 +154,46 @@ class ResultCache:
 
     def put(self, key: str, result: SimResult,
             cell: Optional[Dict[str, Any]] = None) -> bool:
-        """Store ``result`` under ``key``; returns False when skipped.
+        """Store ``result`` under ``key``; returns False when skipped or
+        the write failed.
 
         Results carrying per-op logs (``record_ops`` runs) are not cached:
         the payload deliberately drops op logs, so replaying such an entry
         would silently return less than the original run produced.
+
+        Write failures (``OSError``: disk full, read-only cache, ...) are
+        counted and swallowed — the caller already holds the computed
+        result, and a cache that cannot persist it must not lose it.
         """
         if result.op_logs:
             return False
-        os.makedirs(self.root, exist_ok=True)
+        payload = result.to_payload()
         blob = {
             "format": CACHE_FORMAT,
             "key": key,
+            "digest": result_digest(payload),
             "cell": cell or {},
-            "result": result.to_payload(),
+            "result": payload,
         }
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        data = json.dumps(blob).encode("utf-8")
+        plan = plan_from_env()
+        tmp = None
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as f:
-                json.dump(blob, f)
+            if plan is not None:
+                plan.check_write("cache", key)
+                data, _fault = plan.corrupt_bytes(key, data)
+            os.makedirs(self.root, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "wb") as f:
+                f.write(data)
             os.replace(tmp, self.path_for(key))
+            tmp = None
+        except OSError:
+            self.write_errors += 1
+            self._discard_tmp(tmp)
+            return False
         except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            self._discard_tmp(tmp)
             raise
         self._enforce_bound()
         return True
@@ -143,7 +202,38 @@ class ResultCache:
         """Delete the whole cache directory (``make clean-cache``)."""
         shutil.rmtree(self.root, ignore_errors=True)
 
+    def sweep_stale_tmp(self, max_age_s: float = STALE_TMP_AGE_S) -> int:
+        """Remove ``.tmp`` leftovers from crashed writers; returns the
+        number removed. Only files older than ``max_age_s`` go (a young
+        one may be a concurrent campaign's in-flight commit)."""
+        removed = 0
+        try:
+            it = os.scandir(self.root)
+        except OSError:
+            return 0
+        now = time.time()
+        with it:
+            for de in it:
+                if not de.name.endswith(".tmp"):
+                    continue
+                try:
+                    if now - de.stat().st_mtime < max_age_s:
+                        continue
+                    os.unlink(de.path)
+                    removed += 1
+                except OSError:
+                    continue
+        return removed
+
     # ------------------------------------------------------------------
+    @staticmethod
+    def _discard_tmp(tmp: Optional[str]) -> None:
+        if tmp:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
     def _enforce_bound(self) -> None:
         """Trim the cache directory back under its size bounds.
 
@@ -194,4 +284,5 @@ class ResultCache:
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<ResultCache {self.root!r} hits={self.hits} "
-                f"misses={self.misses} evictions={self.evictions}>")
+                f"misses={self.misses} evictions={self.evictions} "
+                f"write_errors={self.write_errors}>")

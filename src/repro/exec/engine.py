@@ -12,16 +12,33 @@ what bounds iteration time. :class:`SweepExecutor` schedules such grids:
 * when process pools are unavailable (restricted environments, or
   ``RCC_NO_MP=1``) the engine degrades gracefully to in-process serial
   execution rather than failing;
-* each cell gets an optional wall-clock ``timeout`` and exactly one
-  retry in a fresh single-worker pool; a cell that still fails surfaces
-  as :class:`~repro.errors.HarnessError` (never a raw
-  ``BrokenProcessPool``), with every other cell's result unaffected;
+* each cell gets an optional wall-clock ``timeout`` and bounded
+  exponential-backoff retries (:class:`RetryPolicy`; retries run in a
+  fresh single-worker pool so a poisoned worker cannot take them down);
+* a worker death breaks the shared pool for every un-collected future —
+  the engine rebuilds the pool and *resubmits* the survivors as a batch
+  instead of burning one isolated single-worker pool per innocent cell;
+* a cell that still fails surfaces inside a
+  :class:`~repro.errors.HarnessError` (never a raw
+  ``BrokenProcessPool``), carrying one structured
+  :class:`~repro.errors.CellFailure` per cell classified under the
+  ``timeout`` / ``crash`` / ``poisoned-pool`` / ``cache-corrupt`` /
+  ``exception`` taxonomy, with every other cell's result unaffected;
 * results come back in submission order regardless of completion order,
   so downstream aggregation is order-deterministic.
 
-Layered on top is the content-keyed on-disk result cache
-(:mod:`repro.exec.cache`): ``run_cells`` consults it before scheduling
-and fills it after computing, making warm re-runs near-instant.
+Layered on top are the content-keyed on-disk result cache
+(:mod:`repro.exec.cache`) — ``run_cells`` consults it before scheduling
+and fills it after computing — and the campaign journal
+(:mod:`repro.exec.journal`): with ``journal_dir``/``resume`` set, every
+finished cell is appended to an fsync'd JSONL journal the moment it
+completes, and an interrupted campaign restarts from its last completed
+cell. Journal replay must agree with the cache: a digest disagreement is
+surfaced as a ``cache-corrupt`` failure, never silently overwritten.
+
+Deterministic fault injection (:mod:`repro.chaos`) hooks the worker
+boundary via ``RCC_CHAOS``; with the variable unset the hooks are
+no-ops.
 
 Determinism contract: the simulator is a deterministic function of the
 cell, and workers are forked replicas evaluating that same function, so
@@ -34,21 +51,59 @@ from __future__ import annotations
 
 import os
 import time
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import HarnessError
+from repro.chaos import ChaosCrash, arm_parent, plan_from_env
+from repro.errors import CellFailure, HarnessError
 from repro.exec.cache import ResultCache
 from repro.exec.cells import SimCell, cell_key, run_cell
+from repro.exec.journal import (
+    CampaignJournal, campaign_id, decode_value, encode_value,
+    payload_digest,
+)
+from repro.errors import JournalError
 from repro.sim.results import SimResult
 
+_TIMEOUT_EXCS = (TimeoutError, FuturesTimeout)
 
-def _timed_call(fn: Callable[[Any], Any], item: Any) -> Tuple[float, Any]:
+
+def _timed_call(fn: Callable[[Any], Any], item: Any,
+                label: Optional[str] = None,
+                attempt: int = 1) -> Tuple[float, Any]:
     """Worker-side wrapper: run one item and report its wall time (module
-    level so it pickles by reference into worker processes)."""
+    level so it pickles by reference into worker processes).
+
+    This is also the chaos layer's worker boundary: when ``RCC_CHAOS``
+    names worker faults, they fire here — in whatever process is about
+    to evaluate the cell — keyed deterministically by the cell's label
+    and attempt number.
+    """
+    plan = plan_from_env()
+    if plan is not None and label is not None:
+        plan.fire_worker(label, attempt)
     t0 = time.perf_counter()
     out = fn(item)
     return time.perf_counter() - t0, out
+
+
+def classify_exception(exc: BaseException, isolated: bool = True) -> str:
+    """File one cell-level exception under the failure taxonomy.
+
+    ``isolated`` says whether the evidence comes from the cell's own
+    isolated single-worker pool (or in-process execution): a broken pool
+    observed only as shared-pool collateral is ``poisoned-pool``, while
+    a pool the cell broke all by itself is a confirmed ``crash``.
+    """
+    if isinstance(exc, ChaosCrash):
+        return "crash"
+    if isinstance(exc, _TIMEOUT_EXCS):
+        return "timeout"
+    if isinstance(exc, BrokenExecutor):
+        return "crash" if isolated else "poisoned-pool"
+    return "exception"
 
 
 def _percentile(samples: List[float], p: float) -> float:
@@ -59,6 +114,34 @@ def _percentile(samples: List[float], p: float) -> float:
     return ordered[rank]
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential-backoff retry budget for failing cells.
+
+    A cell gets ``max_attempts`` total attempts; before retry ``k``
+    (1-based count of failures so far) the engine sleeps
+    ``min(max_delay, base_delay * 2**(k-1))``. Defaults give three
+    attempts with 50ms/100ms pauses — enough to absorb transient faults
+    without stalling a sweep behind a deterministic crasher.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+
+    def delay(self, failures: int) -> float:
+        return min(self.max_delay, self.base_delay * (2 ** (failures - 1)))
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        raw = os.environ.get("RCC_MAX_ATTEMPTS")
+        try:
+            max_attempts = max(1, int(raw)) if raw else 3
+        except ValueError:
+            max_attempts = 3
+        return cls(max_attempts=max_attempts)
+
+
 @dataclass
 class SweepStats:
     """What one ``run_cells``/``map`` invocation did, and how fast."""
@@ -66,7 +149,11 @@ class SweepStats:
     n_cells: int = 0
     n_cached: int = 0
     n_computed: int = 0
+    #: Cells replayed from a campaign journal instead of re-running.
+    n_replayed: int = 0
     retries: int = 0
+    #: Shared-pool rebuilds after a worker death broke the pool.
+    pool_rebuilds: int = 0
     wall: float = 0.0
     mode: str = "serial"
     jobs: int = 1
@@ -100,8 +187,12 @@ class SweepStats:
         parts = [f"{self.n_cells} cells"]
         if self.n_cached:
             parts.append(f"{self.n_cached} cached")
+        if self.n_replayed:
+            parts.append(f"{self.n_replayed} replayed")
         if self.retries:
             parts.append(f"{self.retries} retried")
+        if self.pool_rebuilds:
+            parts.append(f"{self.pool_rebuilds} pool rebuild(s)")
         head = ", ".join(parts)
         line = (f"[sweep: {head} in {self.wall:.2f}s — "
                 f"{self.cells_per_second:.1f} cells/s")
@@ -123,15 +214,124 @@ class SweepStats:
         return line
 
 
+class _NullSink:
+    """Per-cell completion callbacks; the default does nothing."""
+
+    divergences: List[CellFailure] = []
+
+    def ok(self, batch_i: int, value: Any, elapsed: float,
+           attempts: int) -> None:
+        pass
+
+    def fail(self, batch_i: int, failure: CellFailure) -> None:
+        pass
+
+
+class _CellSink(_NullSink):
+    """``run_cells`` completion hook: cache fill + journal append, in
+    that order (so a journal ``ok`` record implies the cache entry is
+    already durable), plus digest cross-checking against any earlier
+    journal record for the same cell."""
+
+    def __init__(self, journal: Optional[CampaignJournal],
+                 cache: Optional[ResultCache],
+                 cells: Sequence[SimCell], seqs: Sequence[int],
+                 keys: Sequence[Optional[str]],
+                 expected: Dict[int, str]):
+        self.journal = journal
+        self.cache = cache
+        self.cells = cells
+        self.seqs = list(seqs)
+        self.keys = keys
+        self.expected = expected  # seq -> digest an earlier record pinned
+        self.divergences: List[CellFailure] = []
+
+    def ok(self, batch_i: int, value: Any, elapsed: float,
+           attempts: int) -> None:
+        seq = self.seqs[batch_i]
+        cell = self.cells[seq]
+        key = self.keys[seq] or ""
+        payload = value.to_payload() if hasattr(value, "to_payload") \
+            else value
+        digest = payload_digest(payload)
+        want = self.expected.get(seq)
+        if want and digest != want:
+            # The journal pinned a different result for this cell than
+            # the recompute produced: surface it, never overwrite.
+            failure = CellFailure(
+                cell.label, "cache-corrupt", attempts,
+                f"recomputed result digest {digest[:12]}... disagrees "
+                f"with the journal's recorded {want[:12]}... for key "
+                f"{key[:12]}... — nondeterminism or corruption; rotate "
+                f"the journal or clear the cache before resuming")
+            self.divergences.append(failure)
+            self.fail(batch_i, failure)
+            return
+        if self.cache is not None:
+            self.cache.put(key, value, cell={
+                "protocol": cell.protocol,
+                "workload": cell.workload,
+                "intensity": cell.intensity,
+                "seed": cell.seed,
+                "ts_overrides": list(cell.ts_overrides),
+            })
+        if self.journal is not None:
+            embedded = (encode_value(payload)
+                        if self.cache is None else None)
+            self.journal.record_ok(seq, key, cell.label, digest,
+                                   elapsed, attempts, payload=embedded)
+
+    def fail(self, batch_i: int, failure: CellFailure) -> None:
+        if self.journal is not None:
+            seq = self.seqs[batch_i]
+            self.journal.record_failure(
+                seq, self.keys[seq] or "", failure.label, failure.kind,
+                failure.message, failure.attempts)
+
+
+class _MapSink(_NullSink):
+    """``map`` completion hook: journal append with the result embedded
+    (generic work items have no content-keyed cache to replay from)."""
+
+    def __init__(self, journal: Optional[CampaignJournal],
+                 seqs: Sequence[int], labels: Sequence[str]):
+        self.journal = journal
+        self.seqs = list(seqs)
+        self.labels = labels
+        self.divergences: List[CellFailure] = []
+
+    def ok(self, batch_i: int, value: Any, elapsed: float,
+           attempts: int) -> None:
+        if self.journal is None:
+            return
+        seq = self.seqs[batch_i]
+        embedded = encode_value(value)
+        self.journal.record_ok(seq, self.labels[seq], self.labels[seq],
+                               embedded["digest"], elapsed, attempts,
+                               payload=embedded)
+
+    def fail(self, batch_i: int, failure: CellFailure) -> None:
+        if self.journal is None:
+            return
+        seq = self.seqs[batch_i]
+        self.journal.record_failure(seq, self.labels[seq], failure.label,
+                                    failure.kind, failure.message,
+                                    failure.attempts)
+
+
 class SweepExecutor:
-    """Runs batches of independent work items, optionally in parallel and
-    optionally through the on-disk result cache."""
+    """Runs batches of independent work items, optionally in parallel,
+    optionally through the on-disk result cache, and optionally under a
+    crash-safe campaign journal."""
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  timeout: Optional[float] = None,
                  worker: Callable[[SimCell], SimResult] = None,
-                 on_summary: Optional[Callable[[str], None]] = None):
+                 on_summary: Optional[Callable[[str], None]] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 journal_dir: Optional[str] = None,
+                 resume: Optional[str] = None):
         if jobs is None:
             jobs = int(os.environ.get("RCC_JOBS", "1") or 1)
         self.jobs = max(1, jobs)
@@ -139,52 +339,121 @@ class SweepExecutor:
         self.timeout = timeout
         self.worker = worker if worker is not None else run_cell
         self.on_summary = on_summary
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
+        if journal_dir is None:
+            journal_dir = os.environ.get("RCC_JOURNAL_DIR") or None
+        # --resume pointing at a directory is shorthand for journaling
+        # into it (auto-resume is content-keyed, so this just works).
+        if resume and os.path.isdir(resume):
+            journal_dir, resume = resume, None
+        self.journal_dir = journal_dir
+        self.resume = resume
         self.last_stats: Optional[SweepStats] = None
+        self.last_journal_path: Optional[str] = None
+        #: Lifetime count of worker pools this executor constructed —
+        #: the crash-amplification regression gate counts these.
+        self.pools_built = 0
 
     # ------------------------------------------------------------------
-    # Cell-level entry point (cache-aware)
+    # Journal plumbing
     # ------------------------------------------------------------------
-    def run_cells(self, cells: Sequence[SimCell]) -> List[SimResult]:
+    @property
+    def journaling(self) -> bool:
+        return bool(self.journal_dir or self.resume)
+
+    def _open_journal(self, tokens: Sequence[str], n_cells: int,
+                      meta: Optional[Dict[str, Any]],
+                      batch_kind: str) -> Optional[CampaignJournal]:
+        if not self.journaling or n_cells == 0:
+            return None
+        full_meta = dict(meta or {})
+        full_meta["batch"] = batch_kind
+        cid = campaign_id(tokens, full_meta)
+        if self.resume:
+            path, explicit = self.resume, True
+        else:
+            path = os.path.join(self.journal_dir,
+                                f"campaign-{cid[:16]}.jsonl")
+            explicit = False
+        journal = CampaignJournal.open(path, cid, n_cells, meta=full_meta,
+                                       explicit=explicit,
+                                       on_warning=self.on_summary)
+        self.last_journal_path = path
+        return journal
+
+    # ------------------------------------------------------------------
+    # Cell-level entry point (cache- and journal-aware)
+    # ------------------------------------------------------------------
+    def run_cells(self, cells: Sequence[SimCell],
+                  meta: Optional[Dict[str, Any]] = None
+                  ) -> List[SimResult]:
         """Run a batch of cells; results in input order.
 
-        Cached cells are replayed from disk; the rest are scheduled on the
-        pool (or serially) and written back to the cache.
+        Journal-completed cells are replayed (from the cache, or from
+        payloads embedded in the journal when no cache is attached);
+        cached cells are replayed from disk; the rest are scheduled on
+        the pool (or serially), written back to the cache, and journaled
+        as they finish. A digest disagreement between journal and cache
+        raises a ``cache-corrupt`` :class:`HarnessError` — the two
+        stores are never silently reconciled.
         """
         t0 = time.perf_counter()
         cache = self.cache
         counters0 = ((cache.hits, cache.misses, cache.evictions)
                      if cache is not None else None)
-        results: List[Optional[SimResult]] = [None] * len(cells)
-        keys: List[Optional[str]] = [None] * len(cells)
-        pending: List[int] = []
-        for i, cell in enumerate(cells):
-            if self.cache is not None:
-                keys[i] = cell_key(cell)
-                hit = self.cache.get(keys[i])
-                if hit is not None:
-                    results[i] = hit
-                    continue
-            pending.append(i)
+        n = len(cells)
+        results: List[Optional[SimResult]] = [None] * n
+        want_keys = cache is not None or self.journaling
+        keys: List[Optional[str]] = (
+            [cell_key(c) for c in cells] if want_keys else [None] * n)
+        journal = self._open_journal([k or "" for k in keys], n, meta,
+                                     "cells")
+        try:
+            replayed, expected, divergences = self._replay_from_journal(
+                journal, cells, keys, results)
+            if divergences:
+                raise HarnessError.from_failures(divergences)
 
-        if pending:
-            computed = self._map([cells[i] for i in pending], self.worker,
-                                 [cells[i].label for i in pending])
-            for i, res in zip(pending, computed):
-                results[i] = res
-                if self.cache is not None and res is not None:
-                    self.cache.put(keys[i], res, cell={
-                        "protocol": cells[i].protocol,
-                        "workload": cells[i].workload,
-                        "intensity": cells[i].intensity,
-                        "seed": cells[i].seed,
-                        "ts_overrides": list(cells[i].ts_overrides),
-                    })
-        else:
-            self._map([], self.worker, [])
+            cached = set()
+            for i in range(n):
+                if results[i] is None and cache is not None:
+                    hit = cache.get(keys[i])
+                    if hit is not None:
+                        results[i] = hit
+                        cached.add(i)
+                        if journal is not None and i not in replayed:
+                            # Adopt the foreign cache hit into this
+                            # campaign's journal so resume stops
+                            # depending on the (evictable) cache alone.
+                            self._journal_cache_hit(journal, i, cells[i],
+                                                    keys[i], hit,
+                                                    expected, divergences)
+            if divergences:
+                raise HarnessError.from_failures(divergences)
+
+            pending = [i for i in range(n) if results[i] is None
+                       and i not in replayed]
+            sink = _CellSink(journal, cache, cells, pending, keys,
+                             expected)
+            if pending:
+                computed = self._map([cells[i] for i in pending],
+                                     self.worker,
+                                     [cells[i].label for i in pending],
+                                     sink=sink)
+                for i, res in zip(pending, computed):
+                    results[i] = res
+            else:
+                self._map([], self.worker, [], sink=sink)
+            if sink.divergences:
+                raise HarnessError.from_failures(sink.divergences)
+        finally:
+            if journal is not None:
+                journal.close()
 
         stats = self.last_stats
-        stats.n_cells = len(cells)
-        stats.n_cached = len(cells) - len(pending)
+        stats.n_cells = n
+        stats.n_replayed = len(replayed)
+        stats.n_cached = len(cached)
         stats.wall = time.perf_counter() - t0
         if counters0 is not None:
             stats.cache_hits = cache.hits - counters0[0]
@@ -194,126 +463,347 @@ class SweepExecutor:
             self.on_summary(stats.render())
         return results
 
+    def _replay_from_journal(self, journal: Optional[CampaignJournal],
+                             cells: Sequence[SimCell],
+                             keys: Sequence[Optional[str]],
+                             results: List[Optional[SimResult]]):
+        """Fill ``results`` from the journal's completed records.
+
+        Returns ``(replayed seqs, expected-digest map for cells that
+        must recompute, divergence failures)``.
+        """
+        replayed: set = set()
+        expected: Dict[int, str] = {}
+        divergences: List[CellFailure] = []
+        if journal is None:
+            return replayed, expected, divergences
+        cache = self.cache
+        for seq, rec in sorted(journal.completed().items()):
+            if rec.get("key") != keys[seq]:
+                continue
+            digest = rec.get("digest") or ""
+            if cache is not None:
+                hit = cache.get(keys[seq])
+                if hit is not None:
+                    have = payload_digest(hit.to_payload())
+                    if digest and have != digest:
+                        divergences.append(CellFailure(
+                            cells[seq].label, "cache-corrupt", 0,
+                            f"journal records digest {digest[:12]}... "
+                            f"but the cache holds {have[:12]}... for key "
+                            f"{(keys[seq] or '')[:12]}... — refusing to "
+                            f"pick a side; rotate the journal or clear "
+                            f"the cache entry"))
+                        continue
+                    results[seq] = hit
+                    replayed.add(seq)
+                    continue
+            embedded = rec.get("payload")
+            if embedded is not None:
+                try:
+                    payload = decode_value(embedded)
+                    res = SimResult.from_payload(payload)
+                except (JournalError, Exception):
+                    # Unusable embed: recompute, but hold the recompute
+                    # to the journaled digest.
+                    if digest:
+                        expected[seq] = digest
+                    continue
+                results[seq] = res
+                replayed.add(seq)
+                if cache is not None:
+                    # Backfill the evicted cache entry from the journal.
+                    self.cache.put(keys[seq], res)
+                continue
+            # Digest-only record whose cache entry is gone: the cell
+            # recomputes, pinned to the recorded digest.
+            if digest:
+                expected[seq] = digest
+        return replayed, expected, divergences
+
+    def _journal_cache_hit(self, journal: CampaignJournal, seq: int,
+                           cell: SimCell, key: Optional[str],
+                           hit: SimResult, expected: Dict[int, str],
+                           divergences: List[CellFailure]) -> None:
+        digest = payload_digest(hit.to_payload())
+        want = expected.pop(seq, None)
+        if want and want != digest:
+            divergences.append(CellFailure(
+                cell.label, "cache-corrupt", 0,
+                f"cache entry digest {digest[:12]}... disagrees with "
+                f"the journal's {want[:12]}... for key "
+                f"{(key or '')[:12]}..."))
+            return
+        journal.record_ok(seq, key or "", cell.label, digest, 0.0, 0,
+                          payload=None)
+
     # ------------------------------------------------------------------
-    # Generic entry point (the fuzz campaign uses this directly)
+    # Generic entry point (the fuzz campaigns use this directly)
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any],
-            labels: Optional[Sequence[str]] = None) -> List[Any]:
+            labels: Optional[Sequence[str]] = None,
+            meta: Optional[Dict[str, Any]] = None) -> List[Any]:
         """Apply ``fn`` to every item with the engine's scheduling policy
-        (pool/serial, timeout, one retry, HarnessError on failure).
-        Results are returned in input order."""
+        (pool/serial, timeout, bounded backoff retries, HarnessError on
+        failure). Results are returned in input order.
+
+        With journaling enabled, each completed item's result is
+        embedded in the journal (JSON when possible, pickle otherwise)
+        and an interrupted campaign resumes from its last completed
+        item. ``meta`` distinguishes campaigns whose labels alone would
+        collide (seeds, knob sets, protocol lists).
+        """
         t0 = time.perf_counter()
-        out = self._map(items, fn, list(labels) if labels is not None
-                        else [f"item[{i}]" for i in range(len(items))])
-        self.last_stats.n_cells = len(items)
+        labels = (list(labels) if labels is not None
+                  else [f"item[{i}]" for i in range(len(items))])
+        n = len(items)
+        results: List[Any] = [None] * n
+        replayed: set = set()
+        journal = self._open_journal(labels, n, meta, "map")
+        try:
+            if journal is not None:
+                for seq, rec in sorted(journal.completed().items()):
+                    if rec.get("label") != labels[seq]:
+                        continue
+                    embedded = rec.get("payload")
+                    if embedded is None:
+                        continue
+                    try:
+                        results[seq] = decode_value(embedded)
+                    except JournalError:
+                        continue
+                    replayed.add(seq)
+            pending = [i for i in range(n) if i not in replayed]
+            sink = _MapSink(journal, pending, labels)
+            computed = self._map([items[i] for i in pending], fn,
+                                 [labels[i] for i in pending], sink=sink)
+            for i, value in zip(pending, computed):
+                results[i] = value
+        finally:
+            if journal is not None:
+                journal.close()
+        self.last_stats.n_cells = n
+        self.last_stats.n_replayed = len(replayed)
         self.last_stats.wall = time.perf_counter() - t0
         if self.on_summary is not None:
             self.on_summary(self.last_stats.render())
-        return out
+        return results
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _map(self, items: Sequence[Any], fn: Callable[[Any], Any],
-             labels: Sequence[str]) -> List[Any]:
+             labels: Sequence[str],
+             sink: Optional[_NullSink] = None) -> List[Any]:
         stats = SweepStats(jobs=self.jobs)
         self.last_stats = stats
+        sink = sink if sink is not None else _NullSink()
         if not items:
             return []
+        arm_parent()
         if self.jobs <= 1:
-            return self._map_serial(items, fn, labels, stats)
+            return self._map_serial(items, fn, labels, stats, sink)
         pool = self._make_pool(self.jobs)
         if pool is None:
             stats.mode = "serial-fallback"
-            return self._map_serial(items, fn, labels, stats)
+            return self._map_serial(items, fn, labels, stats, sink)
         stats.mode = "fork-pool"
-        return self._map_pool(pool, items, fn, labels, stats)
+        return self._map_pool(pool, items, fn, labels, stats, sink)
 
     def _map_serial(self, items: Sequence[Any], fn: Callable[[Any], Any],
-                    labels: Sequence[str], stats: SweepStats) -> List[Any]:
+                    labels: Sequence[str], stats: SweepStats,
+                    sink: _NullSink) -> List[Any]:
         out: List[Any] = []
-        errors: List[str] = []
-        for item, label in zip(items, labels):
-            try:
-                elapsed, value = _timed_call(fn, item)
-            except Exception as exc:
-                stats.retries += 1
+        failures: List[CellFailure] = []
+        for idx, (item, label) in enumerate(zip(items, labels)):
+            attempts = 0
+            last: Optional[BaseException] = None
+            done = False
+            while attempts < self.retry.max_attempts:
+                if attempts:
+                    stats.retries += 1
+                    time.sleep(self.retry.delay(attempts))
+                attempts += 1
                 try:
-                    elapsed, value = _timed_call(fn, item)
-                except Exception as exc2:
-                    errors.append(f"{label}: "
-                                  f"{type(exc2).__name__}: {exc2}")
-                    out.append(None)
-                    continue
-            stats.record_cell(elapsed, value)
-            out.append(value)
-        if errors:
-            raise HarnessError(
-                f"{len(errors)} cell(s) failed after retry: "
-                + "; ".join(errors))
+                    elapsed, value = _timed_call(fn, item, label, attempts)
+                    done = True
+                    break
+                except Exception as exc:
+                    last = exc
+            if done:
+                stats.record_cell(elapsed, value)
+                out.append(value)
+                sink.ok(idx, value, elapsed, attempts)
+            else:
+                failure = CellFailure(
+                    label, classify_exception(last, isolated=True),
+                    attempts, f"{type(last).__name__}: {last}")
+                failures.append(failure)
+                out.append(None)
+                sink.fail(idx, failure)
+        if failures:
+            raise HarnessError.from_failures(failures)
         return out
 
     def _map_pool(self, pool, items: Sequence[Any],
                   fn: Callable[[Any], Any], labels: Sequence[str],
-                  stats: SweepStats) -> List[Any]:
-        out: List[Any] = [None] * len(items)
-        failed: List[Tuple[int, BaseException]] = []
+                  stats: SweepStats, sink: _NullSink) -> List[Any]:
+        n = len(items)
+        out: List[Any] = [None] * n
+        attempts = [0] * n
+        broken_rounds = [0] * n
+        #: (index, first observed exception) for cells that go to the
+        #: isolated retry stage.
+        retry_q: List[Tuple[int, BaseException]] = []
+        pending = list(range(n))
+        current = pool
         wedged = False
         try:
-            futures = [pool.submit(_timed_call, fn, item) for item in items]
-            for i, fut in enumerate(futures):
-                try:
-                    elapsed, value = fut.result(timeout=self.timeout)
-                except TimeoutError as exc:
-                    wedged = True
-                    failed.append((i, exc))
-                    continue
-                except Exception as exc:
-                    failed.append((i, exc))
-                    continue
-                stats.record_cell(elapsed, value)
-                out[i] = value
+            while pending:
+                wedged = False
+                futs = []
+                broken: List[Tuple[int, BaseException]] = []
+                for i in pending:
+                    attempts[i] += 1
+                    try:
+                        futs.append((i, current.submit(
+                            _timed_call, fn, items[i], labels[i],
+                            attempts[i])))
+                    except BrokenExecutor as exc:
+                        # A just-submitted cell killed its worker before
+                        # the batch finished submitting; the rest of the
+                        # batch joins this round's broken set.
+                        broken.append((i, exc))
+                for i, fut in futs:
+                    try:
+                        elapsed, value = fut.result(timeout=self.timeout)
+                    except _TIMEOUT_EXCS as exc:
+                        wedged = True
+                        retry_q.append((i, exc))
+                        continue
+                    except BrokenExecutor as exc:
+                        broken.append((i, exc))
+                        continue
+                    except Exception as exc:
+                        retry_q.append((i, exc))
+                        continue
+                    stats.record_cell(elapsed, value)
+                    out[i] = value
+                    sink.ok(i, value, elapsed, attempts[i])
+                pending = []
+                if broken:
+                    # A dead worker poisons every un-collected future in
+                    # the shared pool. Rebuild the pool ONCE per breakage
+                    # and resubmit the survivors as a batch — not one
+                    # isolated single-worker pool per innocent cell.
+                    self._shutdown_pool(current, force=wedged)
+                    current = None
+                    wedged = False
+                    # Resubmits stop one attempt short of the budget so
+                    # a repeat offender still gets one *isolated* attempt
+                    # — that is what upgrades "poisoned-pool" (collateral
+                    # damage) to a confirmed "crash".
+                    resubmit_budget = max(1, self.retry.max_attempts - 1)
+                    for i, exc in broken:
+                        broken_rounds[i] += 1
+                        if broken_rounds[i] >= resubmit_budget:
+                            retry_q.append((i, exc))
+                        else:
+                            stats.retries += 1
+                            pending.append(i)
+                    if pending:
+                        stats.pool_rebuilds += 1
+                        current = self._make_pool(self.jobs)
+                        if current is None:
+                            # Multiprocessing gave out mid-sweep; the
+                            # isolated stage (which degrades to
+                            # in-process calls) finishes the job.
+                            retry_q.extend(
+                                (i, broken[0][1]) for i in pending)
+                            pending = []
         finally:
-            self._shutdown_pool(pool, force=wedged)
+            if current is not None:
+                self._shutdown_pool(current, force=wedged)
 
-        errors: List[str] = []
-        for i, first_exc in failed:
-            stats.retries += 1
-            try:
-                elapsed, value = self._run_isolated(fn, items[i])
-            except Exception as exc:
-                errors.append(
-                    f"{labels[i]}: {type(first_exc).__name__}: {first_exc}"
-                    f" (retry: {type(exc).__name__}: {exc})")
-                continue
-            stats.record_cell(elapsed, value)
-            out[i] = value
-        if errors:
-            raise HarnessError(
-                f"{len(errors)} cell(s) failed after retry: "
-                + "; ".join(errors))
+        failures = self._retry_failed(retry_q, items, fn, labels, attempts,
+                                      broken_rounds, out, stats, sink)
+        if failures:
+            raise HarnessError.from_failures(failures)
         return out
 
-    def _run_isolated(self, fn: Callable[[Any], Any],
-                      item: Any) -> Tuple[float, Any]:
-        """Retry one wedged/crashed cell in a fresh single-worker pool so
-        a poisoned worker cannot take the retry down with it."""
-        pool = self._make_pool(1)
-        if pool is None:
-            return _timed_call(fn, item)
-        wedged = False
+    def _retry_failed(self, retry_q, items, fn, labels, attempts,
+                      broken_rounds, out, stats: SweepStats,
+                      sink: _NullSink) -> List[CellFailure]:
+        """The isolated retry stage: each failed cell gets its remaining
+        attempt budget, with exponential backoff between attempts, in a
+        *shared* single-worker retry pool. Healthy cells that were only
+        collateral damage run back-to-back on the same pool (no
+        per-innocent pool builds — the crash-amplification fix); a cell
+        that crashes or wedges the retry pool costs exactly one rebuild,
+        and its failure is then *confirmed* in isolation."""
+        failures: List[CellFailure] = []
+        pool = None
         try:
-            fut = pool.submit(_timed_call, fn, item)
-            try:
-                return fut.result(timeout=self.timeout)
-            except TimeoutError:
-                wedged = True
-                raise
+            for i, first_exc in sorted(retry_q, key=lambda pair: pair[0]):
+                last = first_exc
+                done = False
+                isolated_ran = False
+                while attempts[i] < self.retry.max_attempts:
+                    stats.retries += 1
+                    time.sleep(self.retry.delay(attempts[i]))
+                    attempts[i] += 1
+                    isolated_ran = True
+                    try:
+                        elapsed, value = None, None
+                        if pool is None:
+                            pool = self._make_pool(1)
+                        if pool is None:  # mp unavailable: in-process
+                            elapsed, value = _timed_call(
+                                fn, items[i], labels[i], attempts[i])
+                        else:
+                            try:
+                                fut = pool.submit(_timed_call, fn,
+                                                  items[i], labels[i],
+                                                  attempts[i])
+                                elapsed, value = fut.result(
+                                    timeout=self.timeout)
+                            except _TIMEOUT_EXCS:
+                                self._shutdown_pool(pool, force=True)
+                                pool = None
+                                raise
+                            except BrokenExecutor:
+                                # submit() raises too when the pool broke
+                                # under the previous cell; either way the
+                                # next attempt gets a fresh pool.
+                                self._shutdown_pool(pool)
+                                pool = None
+                                raise
+                        done = True
+                        break
+                    except Exception as exc:
+                        last = exc
+                if done:
+                    stats.record_cell(elapsed, value)
+                    out[i] = value
+                    sink.ok(i, value, elapsed, attempts[i])
+                    continue
+                kind = classify_exception(last, isolated=isolated_ran)
+                if (kind == "crash" and not isolated_ran
+                        and broken_rounds[i] > 0):
+                    kind = "poisoned-pool"
+                message = f"{type(last).__name__}: {last}"
+                if first_exc is not None and first_exc is not last:
+                    message += (f" (first attempt: "
+                                f"{type(first_exc).__name__}: {first_exc})")
+                failure = CellFailure(labels[i], kind, attempts[i], message)
+                failures.append(failure)
+                sink.fail(i, failure)
         finally:
-            self._shutdown_pool(pool, force=wedged)
+            if pool is not None:
+                self._shutdown_pool(pool)
+        return failures
 
-    @staticmethod
-    def _make_pool(workers: int):
+    def _make_pool(self, workers: int):
         """A fork-context process pool, or None when multiprocessing is
         unusable here (missing primitives, sandboxing, RCC_NO_MP=1)."""
         if os.environ.get("RCC_NO_MP"):
@@ -325,22 +815,37 @@ class SweepExecutor:
                 ctx = multiprocessing.get_context("fork")
             else:  # pragma: no cover - non-fork platforms
                 ctx = multiprocessing.get_context()
-            return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
         except Exception:  # pragma: no cover - restricted environments
             return None
+        self.pools_built += 1
+        return pool
 
     @staticmethod
     def _shutdown_pool(pool, force: bool = False) -> None:
         """Shut the pool down; with ``force`` (a cell timed out and its
         worker may be wedged) terminate workers first, since a plain
-        shutdown would block on the hung cell forever."""
+        shutdown would block on the hung cell forever.
+
+        The worker list must be captured *before* ``shutdown()`` —
+        ``ProcessPoolExecutor.shutdown`` drops its ``_processes``
+        reference even with ``wait=False``, which is exactly how an
+        earlier version of this code leaked wedged workers for the
+        remainder of their hung cell."""
+        procs = list((getattr(pool, "_processes", None) or {}).values())
         if force:
-            pool.shutdown(wait=False, cancel_futures=True)
-            for proc in list(
-                    (getattr(pool, "_processes", None) or {}).values()):
+            for proc in procs:
                 try:
                     if proc.is_alive():
                         proc.terminate()
-                except Exception:  # pragma: no cover - best-effort reaping
+                except Exception:  # pragma: no cover - best-effort
+                    pass
+            for proc in procs:
+                try:
+                    proc.join(timeout=5.0)
+                    if proc.is_alive():
+                        proc.kill()
+                        proc.join(timeout=5.0)
+                except Exception:  # pragma: no cover - best-effort
                     pass
         pool.shutdown(wait=True)

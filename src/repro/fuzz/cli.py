@@ -136,6 +136,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fail-on-cliff", action="store_true",
                    help="with --workloads: exit non-zero on performance "
                         "cliffs too, not just violations")
+    # Crash safety: campaign journaling and the chaos battery.
+    p.add_argument("--journal-dir", metavar="DIR", default=None,
+                   help="journal the campaign as an append-only JSONL "
+                        "file in DIR; re-running the same command resumes "
+                        "from the last completed program/cell "
+                        "(default: RCC_JOURNAL_DIR)")
+    p.add_argument("--resume", metavar="PATH", default=None,
+                   help="resume from a specific campaign journal file "
+                        "(errors if it belongs to a different campaign), "
+                        "or from a journal directory (same as "
+                        "--journal-dir)")
+    p.add_argument("--chaos", metavar="SPEC", nargs="?", const="battery",
+                   help="with a SPEC (e.g. 'flaky:0.5;seed=7'): run this "
+                        "campaign under the deterministic fault plan "
+                        "(same as RCC_CHAOS=SPEC); with no SPEC: run the "
+                        "chaos battery instead — the executor-contract "
+                        "plan matrix plus kill-and-resume round-trips "
+                        "for every campaign kind")
+    p.add_argument("--chaos-resume-kinds", default="all", metavar="KINDS",
+                   help="with bare --chaos: comma-separated campaign "
+                        "kinds for the kill-and-resume battery, 'all' "
+                        "(cells, litmus, hostile, ablation) or 'none'")
     return p
 
 
@@ -216,7 +238,7 @@ def _workloads_main(args) -> int:
         config_name=args.config, regimes=args.regimes, runs=args.runs,
         seed=args.seed, protocols=protocols, baseline_path=baseline,
         cliff_ratio=args.cliff_ratio, stall_factor=args.stall_factor,
-        executor=SweepExecutor(jobs=args.jobs), on_run=progress,
+        executor=_executor(args), on_run=progress,
         lease_policy=args.lease_policy)
     print(result.render())
     if args.report:
@@ -255,7 +277,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
 
+def _chaos_battery_main(args) -> int:
+    """Bare ``--chaos``: the contract battery + kill-and-resume trips."""
+    from repro.chaos.campaign import CHILD_KINDS, run_chaos_campaign
+
+    raw = args.chaos_resume_kinds
+    if raw == "all":
+        kinds: List[str] = list(CHILD_KINDS)
+    elif raw == "none":
+        kinds = []
+    else:
+        kinds = [s.strip() for s in raw.split(",") if s.strip()]
+        unknown = [k for k in kinds if k not in CHILD_KINDS]
+        if unknown:
+            print(f"repro-fuzz: unknown resume kind(s) {unknown}; choose "
+                  f"from {', '.join(CHILD_KINDS)}", file=sys.stderr)
+            return 2
+    outcomes = run_chaos_campaign(kill_resume=kinds)
+    failed = [o for o in outcomes if not o.ok]
+    print(f"[chaos battery: {len(outcomes)} scenario(s), "
+          f"{len(failed)} failing]")
+    return 1 if failed else 0
+
+
+def _executor(args) -> SweepExecutor:
+    return SweepExecutor(jobs=args.jobs, journal_dir=args.journal_dir,
+                         resume=args.resume)
+
+
 def _main(args) -> int:
+    if args.chaos == "battery":
+        return _chaos_battery_main(args)
+    if args.chaos:
+        os.environ["RCC_CHAOS"] = args.chaos
     if args.workloads:
         return _workloads_main(args)
     runner = _runner(args)
@@ -274,7 +328,7 @@ def _main(args) -> int:
     result = run_campaign(runner, seed=args.seed, n_programs=args.programs,
                           knobs=knobs, shrink=not args.no_shrink,
                           on_program=progress,
-                          executor=SweepExecutor(jobs=args.jobs))
+                          executor=_executor(args))
     print(result.render())
     for report in result.failures:
         print()

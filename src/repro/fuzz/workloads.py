@@ -368,7 +368,11 @@ def run_hostile_campaign(
     try:
         records = executor.map(
             _execute_hostile, [cell for _, cell in planned],
-            labels=[f"{reg.name}:{cell.label}" for reg, cell in planned])
+            labels=[f"{reg.name}:{cell.label}" for reg, cell in planned],
+            meta={"campaign": "hostile-workloads", "config": config_name,
+                  "regimes": regimes, "runs": runs, "seed": seed,
+                  "protocols": list(protocols),
+                  "lease_policy": lease_policy})
     finally:
         if prev is None:
             os.environ.pop(ENV_SANITIZE, None)

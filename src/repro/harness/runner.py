@@ -71,8 +71,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "or .rcc-cache)")
     p.add_argument("--cell-timeout", type=float, default=None,
                    metavar="SECONDS",
-                   help="per-cell wall-clock timeout; a wedged cell is "
-                        "retried once in a fresh worker (default: none)")
+                   help="per-cell wall-clock timeout; a wedged cell gets "
+                        "its remaining retry budget in fresh workers "
+                        "(default: none)")
+    p.add_argument("--journal-dir", metavar="DIR", default=None,
+                   help="journal every sweep batch as an append-only "
+                        "JSONL campaign file in DIR; an interrupted run "
+                        "re-invoked with the same flags resumes from its "
+                        "last completed cell (default: RCC_JOURNAL_DIR)")
+    p.add_argument("--resume", metavar="PATH", default=None,
+                   help="resume from a specific campaign journal file "
+                        "(errors if it belongs to a different campaign), "
+                        "or from a journal directory (same as "
+                        "--journal-dir)")
     p.add_argument("--sanitize", action="store_true",
                    help="run every simulation with the coherence-invariant "
                         "sanitizer enabled (aborts on the first violation; "
@@ -115,7 +126,8 @@ def make_executor(args) -> SweepExecutor:
     cache = (None if args.no_cache or args.sanitize
              else ResultCache(args.cache_dir))
     return SweepExecutor(jobs=args.jobs, cache=cache,
-                         timeout=args.cell_timeout, on_summary=print)
+                         timeout=args.cell_timeout, on_summary=print,
+                         journal_dir=args.journal_dir, resume=args.resume)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

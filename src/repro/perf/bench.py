@@ -186,10 +186,40 @@ def ablation_cells(quick: bool = False,
     ]
 
 
+def _ablation_worker(cell: SimCell) -> Dict[str, Any]:
+    """Worker: run one ablation cell and report its metrics (module level
+    so the sweep executor can ship it to worker processes; the
+    calibration-normalized throughput is attached in the parent)."""
+    t0 = time.perf_counter()
+    result = run_cell(cell)
+    wall = time.perf_counter() - t0
+    mem_ops = result.mem_ops or 0
+    renew_traffic = (getattr(result, "l2_renew_grants", 0) or 0) \
+        + (getattr(result, "l1_renews", 0) or 0)
+    return {
+        "cycles": result.cycles,
+        "mem_ops": mem_ops,
+        "l2_renew_grants": getattr(result, "l2_renew_grants", 0) or 0,
+        "l1_renews": getattr(result, "l1_renews", 0) or 0,
+        "renew_traffic": renew_traffic,
+        "renews_per_kop": round(1000.0 * renew_traffic / mem_ops, 2)
+        if mem_ops else 0.0,
+        "l1_load_expired": getattr(result, "l1_load_expired", 0) or 0,
+        "sc_stall_cycles": result.sc_stall_cycles,
+        "stall_cycles_per_op": round(
+            result.sc_stall_cycles / mem_ops, 3) if mem_ops else 0.0,
+        "wall_s": round(wall, 6),
+        "events": result.events_fired,
+        "events_per_s": round(result.events_fired / wall, 1)
+        if wall > 0 else 0.0,
+    }
+
+
 def run_lease_ablation(quick: bool = False,
                        policies: Optional[List[str]] = None,
                        workloads: Optional[List[str]] = None,
-                       intensity: Optional[float] = None) -> Dict[str, Any]:
+                       intensity: Optional[float] = None,
+                       executor: Optional[Any] = None) -> Dict[str, Any]:
     """Fig. 9-style lease-policy ablation report.
 
     For every (policy, protocol, workload) cell: simulated runtime,
@@ -197,6 +227,11 @@ def run_lease_ablation(quick: bool = False,
     count, SC stall cycles per memory op, and wall-clock events/s. The
     report groups per policy so the rendering and EXPERIMENTS.md table
     read straight off it.
+
+    With an ``executor`` (a :class:`~repro.exec.SweepExecutor`) the grid
+    fans out over its worker pool and, when the executor journals, each
+    cell's metrics land in the campaign journal as it finishes — an
+    interrupted ablation resumes without re-simulating completed cells.
     """
     cells = ablation_cells(quick=quick, policies=policies,
                            workloads=workloads)
@@ -211,36 +246,22 @@ def run_lease_ablation(quick: bool = False,
         "calibration_loops_per_s": round(calibration, 1),
         "policies": {},
     }
-    for cell in cells:
-        policy = cell.lease_policy
-        t0 = time.perf_counter()
-        result = run_cell(cell)
-        wall = time.perf_counter() - t0
-        mem_ops = result.mem_ops or 0
-        renew_traffic = (getattr(result, "l2_renew_grants", 0) or 0) \
-            + (getattr(result, "l1_renews", 0) or 0)
-        entry = {
-            "cycles": result.cycles,
-            "mem_ops": mem_ops,
-            "l2_renew_grants": getattr(result, "l2_renew_grants", 0) or 0,
-            "l1_renews": getattr(result, "l1_renews", 0) or 0,
-            "renew_traffic": renew_traffic,
-            "renews_per_kop": round(1000.0 * renew_traffic / mem_ops, 2)
-            if mem_ops else 0.0,
-            "l1_load_expired": getattr(result, "l1_load_expired", 0) or 0,
-            "sc_stall_cycles": result.sc_stall_cycles,
-            "stall_cycles_per_op": round(
-                result.sc_stall_cycles / mem_ops, 3) if mem_ops else 0.0,
-            "wall_s": round(wall, 6),
-            "events": result.events_fired,
-            "events_per_s": round(result.events_fired / wall, 1)
-            if wall > 0 else 0.0,
-            "events_per_s_normalized": round(
-                result.events_fired / wall / calibration, 6)
-            if wall > 0 else 0.0,
-        }
+    labels = [f"{c.lease_policy}/{c.protocol}/{c.workload}" for c in cells]
+    if executor is not None:
+        entries = executor.map(
+            _ablation_worker, cells, labels=labels,
+            meta={"campaign": "lease-ablation",
+                  "mode": report["mode"], "intensity": intensity,
+                  "policies": list(policies or []),
+                  "workloads": list(workloads or [])})
+    else:
+        entries = [_ablation_worker(c) for c in cells]
+    for cell, entry in zip(cells, entries):
+        wall = entry["wall_s"]
+        entry["events_per_s_normalized"] = round(
+            entry["events"] / wall / calibration, 6) if wall > 0 else 0.0
         label = f"{cell.protocol}/{cell.workload}"
-        report["policies"].setdefault(policy, {})[label] = entry
+        report["policies"].setdefault(cell.lease_policy, {})[label] = entry
     return report
 
 

@@ -76,6 +76,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--intensity", type=float, default=None,
                         help="with --lease-ablation: workload scale factor "
                              "(default: the cells' own, 0.25)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="with --lease-ablation: worker processes for "
+                             "the grid (default: RCC_JOBS or 1)")
+    parser.add_argument("--journal-dir", metavar="DIR", default=None,
+                        help="with --lease-ablation: journal the campaign "
+                             "to DIR; re-running the same command resumes "
+                             "from the last completed cell")
+    parser.add_argument("--resume", metavar="PATH", default=None,
+                        help="with --lease-ablation: resume from a journal "
+                             "file (or directory, same as --journal-dir)")
     args = parser.parse_args(argv)
 
     if (args.check or args.update_baseline) and not args.baseline:
@@ -86,8 +96,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                      "legacy-engine modes")
 
     if args.lease_ablation:
+        executor = None
+        if args.jobs or args.journal_dir or args.resume:
+            from repro.exec import SweepExecutor
+            executor = SweepExecutor(jobs=args.jobs,
+                                     journal_dir=args.journal_dir,
+                                     resume=args.resume, on_summary=print)
         report = run_lease_ablation(quick=args.quick,
-                                    intensity=args.intensity)
+                                    intensity=args.intensity,
+                                    executor=executor)
         print(render_ablation(report))
         out = args.out or f"ABLATION_{datetime.date.today().isoformat()}.json"
         with open(out, "w") as fh:

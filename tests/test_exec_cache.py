@@ -132,6 +132,25 @@ class TestCorruption:
         assert cache.get(key) is None
         assert cache.evictions == 1
 
+    def test_bit_flip_inside_valid_json_caught_by_digest(self, tmp_path,
+                                                         base_result):
+        # The failure mode the format-1 envelope checks could not see:
+        # the file is valid JSON, format and key match, but one value in
+        # the result was silently altered. Only the digest catches it.
+        cache, key, path = self._cached(tmp_path, base_result)
+        blob = json.load(open(path))
+        blob["result"]["cycles"] = blob["result"]["cycles"] + 1
+        json.dump(blob, open(path, "w"))  # digest left as written
+        assert cache.get(key) is None
+        assert cache.evictions == 1
+        assert not os.path.exists(path)
+
+    def test_digest_invariant_under_json_round_trip(self, base_result):
+        from repro.exec.cache import result_digest
+        payload = base_result.to_payload()
+        reloaded = json.loads(json.dumps(payload))
+        assert result_digest(payload) == result_digest(reloaded)
+
     def test_corrupted_cell_recomputed_through_executor(self, tmp_path,
                                                         base_result):
         cache = ResultCache(str(tmp_path))
@@ -154,6 +173,42 @@ class TestCorruption:
         cache.clear()
         assert not os.path.exists(path)
         assert cache.get(key) is None
+
+
+class TestCrashSafety:
+    """``put`` is crash-atomic (publish via ``os.replace``) and failure-
+    tolerant (a sick disk costs the cache, never the result)."""
+
+    def test_put_oserror_swallowed_and_counted(self, tmp_path, base_result):
+        # Point the cache root at a *file*: makedirs raises, and the
+        # failed write must be swallowed, counted, and leave no debris.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("in the way")
+        cache = ResultCache(str(blocker))
+        assert cache.put(cell_key(BASE), base_result) is False
+        assert cache.write_errors == 1
+        assert blocker.read_text() == "in the way"
+
+    def test_no_tmp_debris_after_successful_put(self, tmp_path,
+                                                base_result):
+        cache = ResultCache(str(tmp_path))
+        assert cache.put(cell_key(BASE), base_result)
+        assert not [f for f in os.listdir(str(tmp_path))
+                    if f.endswith(".tmp")]
+
+    def test_stale_tmp_swept_young_tmp_kept(self, tmp_path, base_result):
+        stale = tmp_path / "dead-writer.tmp"
+        stale.write_text("half an entry")
+        old = time.time() - 7200
+        os.utime(str(stale), (old, old))
+        young = tmp_path / "inflight.tmp"
+        young.write_text("concurrent commit")
+
+        cache = ResultCache(str(tmp_path))  # __init__ sweeps
+        assert not stale.exists(), "stale tmp from a crashed writer kept"
+        assert young.exists(), "a concurrent writer's tmp was destroyed"
+        # The survivor is not treated as a cache entry.
+        assert cache.get(cell_key(BASE)) is None
 
 
 class TestSizeBound:
