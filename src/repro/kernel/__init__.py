@@ -2,8 +2,11 @@
 
 The kernel package re-implements the hot paths of the RCC / RCC-WO / MESI
 controllers over flat parallel arrays (:mod:`repro.kernel.layout`) with
-integer state encodings and table-driven transitions
-(:mod:`repro.kernel.hot`). The object-based controllers remain the
+integer state encodings and table-driven transitions fused into one
+handler call per (controller, event) — lease arithmetic, MSHR merge
+bookkeeping, victim+fill included (:mod:`repro.kernel.hot`). The engine
+additionally batch-drains callback-only event buckets through
+``hot.drain_calls``. The object-based controllers remain the
 differential oracle — the flat kernel must be payload-bit-identical to
 them, and ``tests/test_kernel_differential.py`` plus the
 ``tests/golden/flat_kernel_golden.json`` battery enforce it.

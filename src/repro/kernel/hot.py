@@ -1,12 +1,35 @@
-"""Inner-loop primitives of the flat kernel: state codes, transition
-tables, and the victim scan.
+"""Compilable hot kernel: the full per-event L1/L2 protocol dispatch.
 
-Everything in this module is integers, booleans, lists, and tuples — no
-enums, no objects — so an ahead-of-time compiler (mypyc / Cython, see
-``tools/build_kernel.py``) can translate it to a C extension without
-boxing. The pure-Python module is the always-available fallback; the two
-must stay behaviorally identical (``tests/test_kernel_tables.py`` pins
-the encodings against the state enums).
+Everything in this module stays inside the compilable subset — integers,
+booleans, lists, tuples, ``Dict[int, int]`` tag maps, plain dicts with
+constant string keys (per-line policy state, MESI ``inv_pending``), and
+*opaque* object slots that are only stored, moved, or ``len()``-ed — so
+an ahead-of-time compiler (mypyc / Cython, see ``tools/build_kernel.py``)
+can translate it to a C extension without boxing the arithmetic. The
+pure-Python module is the always-available fallback; the two must stay
+behaviorally identical (``tests/test_kernel_differential.py`` and the
+golden battery pin payload bit-identity, ``tests/test_kernel_tables.py``
+pins the encodings).
+
+Handler protocol
+----------------
+Each flat controller prebuilds ONE context list (``repro.kernel.layout``
+has the builders) holding its tag dict, tag-array columns, MSHR columns,
+stats list, the shared LRU clock box, and flattened config ints. Hot
+handlers take ``(ctx, ...scalars..., out)`` and perform the entire
+per-event dispatch: table lookup, action selection, stat bumps, lease
+grant/renew/expiry arithmetic, MSHR merge bookkeeping, and column
+writes. They never raise — impossible protocol states return ``R_ERR``
+and the wrapper re-raises through the canonical object path — and they
+never build :class:`~repro.common.messages.Message` objects, emit
+sanitizer events, or complete :class:`~repro.gpu.warp.MemOpRecord` ops;
+those object-boundary steps stay in the thin wrapper, driven by the
+``R_*`` result code and the integers left in ``out``.
+
+Sequencing contract: hot code consumes LRU ticks from the shared clock
+box at exactly the object kernel's draw points; bank ``arrival`` numbers
+are drawn by the wrapper *after* the hot call (no arrival is consumed
+between the oracle's draw point and the wrapper's, so values match).
 
 State encodings
 ---------------
@@ -33,7 +56,7 @@ store in the tag array (e.g. L1 store transients live in the MSHR);
 hitting one is a protocol bug.
 """
 
-from typing import List
+from typing import Any, Dict, List
 
 # L1 state codes (L1State definition order) -----------------------------
 L1_I = 0
@@ -73,14 +96,122 @@ RCC_L2_ATOMIC = (A_FETCH, A_APPLY, A_RETRY, A_RETRY, A_FETCH)
 MESI_L2_GETS = (A_FETCH, A_GRANT, A_MERGE_RD, A_UNREACHED, A_FETCH)
 MESI_L2_GETX = (A_FETCH, A_APPLY, A_MERGE_WR, A_UNREACHED, A_FETCH)
 
+# Result codes returned by the fused handlers ---------------------------
+R_ERR = -1         # broken invariant; wrapper re-raises canonically
+R_STALL = 0        # L1: bounce the access (full MSHR / all ways pinned)
+R_HIT = 1          # L1 hit completed in-kernel; wrapper emits + completes
+R_MISS_MERGE = 2   # L1 miss merged into an outstanding GETS
+R_MISS_SEND = 3    # L1 miss on an existing line; wrapper sends GETS
+R_MISS_INSERT = 4  # L1 miss needing a line fill; wrapper inserts + sends
+R_SEND = 5         # L1 store/atomic accepted; wrapper sends WRITE/GETX
+R_RETRY = 6        # L2 blocked; wrapper re-queues after RETRY_DELAY
+R_GRANT_DATA = 7   # L2 read grant with data
+R_GRANT_RENEW = 8  # L2 data-less RENEW grant
+R_NEED_LEASE = 9   # L2 grant under a non-built-in policy; wrapper decides
+R_MERGE_RD = 10    # L2 reader merged into the MSHR (done in-kernel)
+R_MERGE_WR = 11    # L2 write merged + ack values ready
+R_APPLY = 12       # L2 V-state write/atomic applied (MESI: defer to wrapper)
+R_FETCH = 13       # L2 read miss; wrapper inserts line + fetches DRAM
+R_FETCH_WR = 14    # L2 write miss; wrapper inserts + acks + fetches
+R_FETCH_AT = 15    # L2 atomic miss; wrapper inserts IAV + fetches
+R_GRANT = 16       # MESI L2 sharer-add grant
+R_INV_FANOUT = 17  # MESI L2 write blocked on sharer invalidation
 
-def find_free_way(c_used: List[bool], base: int, assoc: int) -> int:
-    """First unoccupied way of the set starting at ``base``, or -1."""
-    for slot in range(base, base + assoc):
-        if not c_used[slot]:
-            return slot
-    return -1
+# Lease-policy codes (exact type of the bank's policy object) -----------
+P_FIXED = 0
+P_ADAPTIVE = 1
+P_PCPRED = 2
+P_OTHER = 3        # registered subclass: hot defers via R_NEED_LEASE
 
+# L1 stats indices (pinned against L1Stats.FIELDS) ----------------------
+ST1_LOADS = 0
+ST1_LOAD_HITS = 1
+ST1_LOAD_MISSES = 2
+ST1_LOAD_EXPIRED = 3
+ST1_STORES = 4
+ST1_ATOMICS = 5
+ST1_RENEWS = 6
+ST1_INVALS_RECV = 7
+ST1_SELF_INVALS = 8
+ST1_EVICTIONS = 9
+ST1_FLUSHES = 10
+
+# L2 stats indices (pinned against L2Stats.FIELDS) ----------------------
+ST2_GETS = 0
+ST2_WRITES = 1
+ST2_ATOMICS = 2
+ST2_HITS = 3
+ST2_MISSES = 4
+ST2_EVICTIONS = 5
+ST2_WRITEBACKS = 6
+ST2_GETS_EXPIRED = 7
+ST2_RENEW_GRANTS = 8
+ST2_INVALS_SENT = 9
+ST2_STORE_WAIT = 10
+ST2_ROLLOVERS = 11
+
+# L1 context layout (built by repro.kernel.layout.build_l1_ctx) ---------
+CTX1_TAG = 0        # Dict[int, int]: block -> slot
+CTX1_STATE = 1      # List[int]
+CTX1_EXP = 2        # List[int]
+CTX1_LRU = 3        # List[int]
+CTX1_PIN = 4        # List[bool]
+CTX1_USED = 5       # List[bool]
+CTX1_VALUE = 6      # list (opaque data tokens)
+CTX1_MTAG = 7       # Dict[int, int]: block -> MSHR slot
+CTX1_MFREE = 8      # List[int]: free MSHR slots (LIFO)
+CTX1_MLOADS = 9     # list of lists: waiting (record, warp[, snapshot])
+CTX1_MSTORES = 10   # list of lists: pending (record, warp)
+CTX1_MGETS = 11     # List[bool]: GETS outstanding for the block
+CTX1_MPEAK = 12     # List[int] box: peak MSHR occupancy
+CTX1_STATS = 13     # List[int]: L1Stats backing list
+CTX1_LRUBOX = 14    # List[int] box: shared global LRU clock
+CTX1_MCAP = 15      # int: MSHR capacity
+CTX1_ASSOC = 16     # int
+CTX1_NSETS = 17     # int
+CTX1_SHIFT = 18     # int: block shift
+
+# L2 context layout (built by repro.kernel.layout.build_l2_ctx) ---------
+CTX2_TAG = 0
+CTX2_STATE = 1
+CTX2_EXP = 2
+CTX2_VER = 3
+CTX2_LRU = 4
+CTX2_PIN = 5
+CTX2_USED = 6
+CTX2_VALUE = 7      # list (opaque)
+CTX2_DIRTY = 8      # List[bool]
+CTX2_META = 9       # list of Optional[dict] (policy state, inv_pending)
+CTX2_SHARERS = 10   # list of Optional[set] (MESI)
+CTX2_MTAG = 11
+CTX2_MFREE = 12
+CTX2_MLASTRD = 13   # List[int]
+CTX2_MLASTWR = 14   # List[int]
+CTX2_MHASRD = 15    # List[bool]
+CTX2_MHASWR = 16    # List[bool]
+CTX2_MSTOREVAL = 17  # list (opaque merged store tokens)
+CTX2_MLOADS = 18    # list of lists: waiting requester Messages
+CTX2_MSTORES = 19   # list of lists: MESI merged (msg, atomic) tuples
+CTX2_MMETA = 20     # list of Optional[dict]
+CTX2_MPEAK = 21
+CTX2_STATS = 22     # List[int]: L2Stats backing list
+CTX2_LRUBOX = 23
+CTX2_PCTABLE = 24   # Dict[int, int]: pc-pred table (policy instance dict)
+CTX2_MCAP = 25
+CTX2_ASSOC = 26
+CTX2_NSETS = 27
+CTX2_SHIFT = 28
+CTX2_POL = 29       # P_* code
+CTX2_POLEN = 30     # bool: fixed policy's predictor_enabled
+CTX2_LMIN = 31
+CTX2_LMAX = 32
+CTX2_LDEF = 33
+CTX2_RENEW = 34     # bool: renew_enabled
+
+
+# ----------------------------------------------------------------------
+# Tag-array slot management
+# ----------------------------------------------------------------------
 
 def can_fill(c_used: List[bool], c_pinned: List[bool], base: int,
              assoc: int) -> bool:
@@ -101,7 +232,7 @@ def pick_slot(c_used: List[bool], c_state: List[int], c_lru: List[int],
     """Fill target for the set starting at ``base``: the first free way
     if one exists, else the :func:`pick_victim` LRU victim, else -1.
 
-    Single-pass fusion of ``find_free_way`` + ``pick_victim`` for the
+    Single-pass fusion of the free-way scan + ``pick_victim`` for the
     steady-state insert path (in a warmed-up cache every set is full, so
     the separate free-way scan is a guaranteed miss paid on every fill).
     The caller distinguishes the cases by ``c_used[slot]``: free ways
@@ -136,10 +267,10 @@ def pick_victim(c_used: List[bool], c_state: List[int], c_lru: List[int],
     Mirrors ``CacheArray._pick_victim`` exactly: pinned ways are never
     victims; ways in the protocol's invalid state are preferred
     categorically; otherwise the minimum LRU tick wins with a strict
-    ``<``. LRU ticks are globally unique (one shared ``itertools.count``
-    across both kernels), so the minimum is unique and the scan order —
-    way order here, set-dict insertion order in the object array —
-    cannot change the outcome.
+    ``<``. LRU ticks are globally unique (one shared clock box across
+    both kernels), so the minimum is unique and the scan order — way
+    order here, set-dict insertion order in the object array — cannot
+    change the outcome.
     """
     best = -1
     best_lru = 0
@@ -157,3 +288,840 @@ def pick_victim(c_used: List[bool], c_state: List[int], c_lru: List[int],
             best = slot
             best_lru = lru
     return best_inv if best_inv >= 0 else best
+
+
+def fill_slot(tag: Dict[int, int], c_used: List[bool], c_addr: List[int],
+              c_state: List[int], c_exp: List[int], c_ver: List[int],
+              c_dirty: List[bool], c_value: list, c_pinned: List[bool],
+              c_sharers: list, c_meta: list, c_lru: List[int],
+              lru_box: List[int], block: int, slot: int,
+              state_code: int) -> None:
+    """Reset ``slot`` to a fresh line for ``block`` — the column half of
+    ``CacheLine.__init__`` — consuming one LRU tick exactly where the
+    object kernel does. The caller handles victim detach/eviction."""
+    c_used[slot] = True
+    c_addr[slot] = block
+    c_state[slot] = state_code
+    c_exp[slot] = 0
+    c_ver[slot] = 0
+    c_dirty[slot] = False
+    c_value[slot] = None
+    c_pinned[slot] = False
+    c_sharers[slot] = None
+    c_meta[slot] = None
+    t = lru_box[0] + 1
+    lru_box[0] = t
+    c_lru[slot] = t
+    tag[block] = slot
+
+
+# ----------------------------------------------------------------------
+# MSHR column bookkeeping
+# ----------------------------------------------------------------------
+
+def _l1_mshr_alloc(ctx: list, block: int) -> int:
+    """Get-or-create the L1 MSHR slot for ``block`` (capacity is checked
+    by the caller). Mirrors ``MSHRFile.allocate`` including the peak
+    update point."""
+    mtag: Dict[int, int] = ctx[CTX1_MTAG]
+    ms = mtag.get(block, -1)
+    if ms >= 0:
+        return ms
+    mfree: List[int] = ctx[CTX1_MFREE]
+    ms = mfree.pop()
+    m_loads: list = ctx[CTX1_MLOADS]
+    m_stores: list = ctx[CTX1_MSTORES]
+    m_gets: List[bool] = ctx[CTX1_MGETS]
+    m_loads[ms] = []
+    m_stores[ms] = []
+    m_gets[ms] = False
+    mtag[block] = ms
+    m_peak: List[int] = ctx[CTX1_MPEAK]
+    n = len(mtag)
+    if n > m_peak[0]:
+        m_peak[0] = n
+    return ms
+
+
+def _l2_mshr_alloc(ctx: list, block: int) -> int:
+    """Get-or-create the L2 MSHR slot for ``block``."""
+    mtag: Dict[int, int] = ctx[CTX2_MTAG]
+    ms = mtag.get(block, -1)
+    if ms >= 0:
+        return ms
+    mfree: List[int] = ctx[CTX2_MFREE]
+    ms = mfree.pop()
+    m_lastrd: List[int] = ctx[CTX2_MLASTRD]
+    m_lastwr: List[int] = ctx[CTX2_MLASTWR]
+    m_hasrd: List[bool] = ctx[CTX2_MHASRD]
+    m_haswr: List[bool] = ctx[CTX2_MHASWR]
+    m_store: list = ctx[CTX2_MSTOREVAL]
+    m_loads: list = ctx[CTX2_MLOADS]
+    m_stores: list = ctx[CTX2_MSTORES]
+    m_meta: list = ctx[CTX2_MMETA]
+    m_lastrd[ms] = 0
+    m_lastwr[ms] = 0
+    m_hasrd[ms] = False
+    m_haswr[ms] = False
+    m_store[ms] = None
+    m_loads[ms] = []
+    m_stores[ms] = []
+    m_meta[ms] = None
+    mtag[block] = ms
+    m_peak: List[int] = ctx[CTX2_MPEAK]
+    n = len(mtag)
+    if n > m_peak[0]:
+        m_peak[0] = n
+    return ms
+
+
+# ----------------------------------------------------------------------
+# Lease-policy arithmetic (built-in policies; P_OTHER defers)
+# ----------------------------------------------------------------------
+# Per-line policy state lives in the ``c_meta`` dicts under the *same*
+# string keys the object policies use, so the inherited cold paths (DRAM
+# fills, ``prediction()`` inspection) and the hot kernel read and write
+# one copy of state. All stored values are >= 0, so -1 is a safe absent
+# sentinel for ``dict.get``.
+
+def _policy_lease_for(ctx: list, slot: int, now: int, ver: int,
+                      has_pc: bool, pc: int) -> int:
+    pol: int = ctx[CTX2_POL]
+    lmax: int = ctx[CTX2_LMAX]
+    ldef: int = ctx[CTX2_LDEF]
+    if pol == P_FIXED:
+        enabled: bool = ctx[CTX2_POLEN]
+        if not enabled:
+            return ldef
+        c_meta: list = ctx[CTX2_META]
+        m = c_meta[slot]
+        if m is None:
+            return lmax
+        pred: int = m.get("lease_pred", lmax)
+        return pred
+    lmin: int = ctx[CTX2_LMIN]
+    if pol == P_ADAPTIVE:
+        c_meta = ctx[CTX2_META]
+        m = c_meta[slot]
+        if m is None:
+            m = {}
+            c_meta[slot] = m
+        point = now if now > ver else ver
+        last: int = m.get("lease_adapt_last", -1)
+        if last >= 0:
+            dist = point - last
+            if dist < 0:
+                dist = 0
+            avg: int = m.get("lease_adapt_dist", -1)
+            m["lease_adapt_dist"] = (dist if avg < 0
+                                     else (3 * avg + dist) // 4)
+        m["lease_adapt_last"] = point
+        avg2: int = m.get("lease_adapt_dist", -1)
+        lease = ldef if avg2 < 0 else 2 * avg2
+        if lease < lmin:
+            return lmin
+        if lease > lmax:
+            return lmax
+        return lease
+    if pol == P_PCPRED:
+        if not has_pc:
+            lease = ldef
+        else:
+            table: Dict[int, int] = ctx[CTX2_PCTABLE]
+            lease = table.get(pc, lmax)
+        if lease < lmin:
+            return lmin
+        if lease > lmax:
+            return lmax
+        return lease
+    return ldef  # P_OTHER: unreachable — the wrapper gates on R_NEED_LEASE
+
+
+def _policy_on_write(ctx: list, slot: int) -> None:
+    pol: int = ctx[CTX2_POL]
+    if pol == P_FIXED:
+        enabled: bool = ctx[CTX2_POLEN]
+        if enabled:
+            c_meta: list = ctx[CTX2_META]
+            m = c_meta[slot]
+            if m is None:
+                m = {}
+                c_meta[slot] = m
+            lmin: int = ctx[CTX2_LMIN]
+            m["lease_pred"] = lmin
+    elif pol == P_ADAPTIVE:
+        c_meta = ctx[CTX2_META]
+        m = c_meta[slot]
+        if m is not None:
+            avg: int = m.get("lease_adapt_dist", -1)
+            if avg >= 0:
+                m["lease_adapt_dist"] = avg // 2
+
+
+def _policy_on_renew(ctx: list, slot: int, has_pc: bool, pc: int) -> None:
+    pol: int = ctx[CTX2_POL]
+    lmax: int = ctx[CTX2_LMAX]
+    if pol == P_FIXED:
+        enabled: bool = ctx[CTX2_POLEN]
+        if enabled:
+            c_meta: list = ctx[CTX2_META]
+            m = c_meta[slot]
+            if m is None:
+                m = {}
+                c_meta[slot] = m
+            cur: int = m.get("lease_pred", lmax)
+            cur *= 2
+            m["lease_pred"] = cur if cur < lmax else lmax
+    elif pol == P_PCPRED:
+        if has_pc:
+            table: Dict[int, int] = ctx[CTX2_PCTABLE]
+            cur = table.get(pc, lmax)
+            cur *= 2
+            table[pc] = cur if cur < lmax else lmax
+
+
+def _policy_on_expired_miss(ctx: list, slot: int, has_pc: bool,
+                            pc: int) -> None:
+    pol: int = ctx[CTX2_POL]
+    if pol == P_ADAPTIVE:
+        c_meta: list = ctx[CTX2_META]
+        m = c_meta[slot]
+        if m is not None:
+            avg: int = m.get("lease_adapt_dist", -1)
+            if avg >= 0:
+                m["lease_adapt_dist"] = avg // 2
+    elif pol == P_PCPRED:
+        if has_pc:
+            table: Dict[int, int] = ctx[CTX2_PCTABLE]
+            lmax: int = ctx[CTX2_LMAX]
+            lmin: int = ctx[CTX2_LMIN]
+            cur: int = table.get(pc, lmax)
+            cur //= 2
+            table[pc] = cur if cur > lmin else lmin
+
+
+# ----------------------------------------------------------------------
+# L1 handlers
+# ----------------------------------------------------------------------
+
+def rcc_l1_load(ctx: list, block: int, rnow: int, out: List[int]) -> int:
+    """Fused RCC L1 load dispatch.
+
+    Returns R_HIT (out[0]=slot, lease-valid hit, stats + LRU done),
+    R_STALL, or one of the miss codes with out[0]=MSHR slot and
+    out[1]=expired flag; R_MISS_SEND additionally leaves the old-exp
+    renew hint in out[2] (present flag) / out[3] (value). The wrapper
+    appends the waiting-load payload, emits, and sends."""
+    tag: Dict[int, int] = ctx[CTX1_TAG]
+    c_state: List[int] = ctx[CTX1_STATE]
+    c_exp: List[int] = ctx[CTX1_EXP]
+    stats: List[int] = ctx[CTX1_STATS]
+    slot = tag.get(block, -1)
+    st = L1_NONE if slot < 0 else c_state[slot]
+
+    if RCC_L1_LOAD[st] == A_VHIT and rnow <= c_exp[slot]:
+        stats[ST1_LOADS] += 1
+        stats[ST1_LOAD_HITS] += 1
+        lru_box: List[int] = ctx[CTX1_LRUBOX]
+        c_lru: List[int] = ctx[CTX1_LRU]
+        t = lru_box[0] + 1
+        lru_box[0] = t
+        c_lru[slot] = t
+        out[0] = slot
+        return R_HIT
+
+    expired = st == L1_V and rnow > c_exp[slot]
+    mtag: Dict[int, int] = ctx[CTX1_MTAG]
+    mcap: int = ctx[CTX1_MCAP]
+    in_mshr = block in mtag
+    if not in_mshr and len(mtag) >= mcap:
+        return R_STALL
+    if slot < 0:
+        shift: int = ctx[CTX1_SHIFT]
+        n_sets: int = ctx[CTX1_NSETS]
+        assoc: int = ctx[CTX1_ASSOC]
+        base = ((block >> shift) % n_sets) * assoc
+        c_used: List[bool] = ctx[CTX1_USED]
+        c_pinned: List[bool] = ctx[CTX1_PIN]
+        if not can_fill(c_used, c_pinned, base, assoc):
+            return R_STALL  # all ways pinned by transients
+    stats[ST1_LOADS] += 1
+    if expired:
+        stats[ST1_LOAD_EXPIRED] += 1
+    stats[ST1_LOAD_MISSES] += 1
+    ms = _l1_mshr_alloc(ctx, block)
+    out[0] = ms
+    out[1] = 1 if expired else 0
+    m_gets: List[bool] = ctx[CTX1_MGETS]
+    if m_gets[ms]:
+        return R_MISS_MERGE  # merge into the outstanding GETS
+    m_gets[ms] = True
+    if slot < 0:
+        return R_MISS_INSERT
+    old_flag = 0
+    old_exp = 0
+    c_value: list = ctx[CTX1_VALUE]
+    if c_value[slot] is not None:
+        old_flag = 1
+        old_exp = c_exp[slot]
+    c_state[slot] = L1_IV
+    pin: List[bool] = ctx[CTX1_PIN]
+    pin[slot] = True
+    out[2] = old_flag
+    out[3] = old_exp
+    return R_MISS_SEND
+
+
+def rcc_l1_would_stall(ctx: list, block: int, rnow: int,
+                       is_load: bool) -> bool:
+    """Side-effect-free probe of :func:`rcc_l1_load`'s STALL exits (and
+    the store path's MSHR-full exit)."""
+    mtag: Dict[int, int] = ctx[CTX1_MTAG]
+    in_mshr = block in mtag
+    if is_load:
+        tag: Dict[int, int] = ctx[CTX1_TAG]
+        c_state: List[int] = ctx[CTX1_STATE]
+        c_exp: List[int] = ctx[CTX1_EXP]
+        slot = tag.get(block, -1)
+        if slot >= 0 and c_state[slot] == L1_V and rnow <= c_exp[slot]:
+            return False
+        mcap: int = ctx[CTX1_MCAP]
+        if not in_mshr and len(mtag) >= mcap:
+            return True
+        if slot >= 0:
+            return False
+        shift: int = ctx[CTX1_SHIFT]
+        n_sets: int = ctx[CTX1_NSETS]
+        assoc: int = ctx[CTX1_ASSOC]
+        base = ((block >> shift) % n_sets) * assoc
+        c_used: List[bool] = ctx[CTX1_USED]
+        c_pinned: List[bool] = ctx[CTX1_PIN]
+        return not can_fill(c_used, c_pinned, base, assoc)
+    mcap2: int = ctx[CTX1_MCAP]
+    return not in_mshr and len(mtag) >= mcap2
+
+
+def rcc_l1_store(ctx: list, block: int, is_atomic: bool,
+                 out: List[int]) -> int:
+    """Fused RCC L1 store/atomic issue: stall check, stat bump, MSHR
+    allocation, transient pinning. out[0] = MSHR slot; the wrapper
+    appends the pending store and sends WRITE/ATOMIC."""
+    mtag: Dict[int, int] = ctx[CTX1_MTAG]
+    mcap: int = ctx[CTX1_MCAP]
+    if block not in mtag and len(mtag) >= mcap:
+        return R_STALL
+    stats: List[int] = ctx[CTX1_STATS]
+    if is_atomic:
+        stats[ST1_ATOMICS] += 1
+    else:
+        stats[ST1_STORES] += 1
+    ms = _l1_mshr_alloc(ctx, block)
+    tag: Dict[int, int] = ctx[CTX1_TAG]
+    slot = tag.get(block, -1)
+    if slot >= 0:
+        pin: List[bool] = ctx[CTX1_PIN]
+        pin[slot] = True  # VI/II transients are not evictable
+    out[0] = ms
+    return R_SEND
+
+
+def mesi_l1_load(ctx: list, block: int, out: List[int]) -> int:
+    """Fused MESI L1 load dispatch (no lease check)."""
+    tag: Dict[int, int] = ctx[CTX1_TAG]
+    c_state: List[int] = ctx[CTX1_STATE]
+    stats: List[int] = ctx[CTX1_STATS]
+    slot = tag.get(block, -1)
+    st = L1_NONE if slot < 0 else c_state[slot]
+    if MESI_L1_LOAD[st] == A_VHIT:
+        stats[ST1_LOADS] += 1
+        stats[ST1_LOAD_HITS] += 1
+        lru_box: List[int] = ctx[CTX1_LRUBOX]
+        c_lru: List[int] = ctx[CTX1_LRU]
+        t = lru_box[0] + 1
+        lru_box[0] = t
+        c_lru[slot] = t
+        out[0] = slot
+        return R_HIT
+    mtag: Dict[int, int] = ctx[CTX1_MTAG]
+    mcap: int = ctx[CTX1_MCAP]
+    if block not in mtag and len(mtag) >= mcap:
+        return R_STALL
+    if slot < 0:
+        shift: int = ctx[CTX1_SHIFT]
+        n_sets: int = ctx[CTX1_NSETS]
+        assoc: int = ctx[CTX1_ASSOC]
+        base = ((block >> shift) % n_sets) * assoc
+        c_used: List[bool] = ctx[CTX1_USED]
+        c_pinned: List[bool] = ctx[CTX1_PIN]
+        if not can_fill(c_used, c_pinned, base, assoc):
+            return R_STALL
+    stats[ST1_LOADS] += 1
+    stats[ST1_LOAD_MISSES] += 1
+    ms = _l1_mshr_alloc(ctx, block)
+    out[0] = ms
+    m_gets: List[bool] = ctx[CTX1_MGETS]
+    if m_gets[ms]:
+        return R_MISS_MERGE
+    m_gets[ms] = True
+    if slot < 0:
+        return R_MISS_INSERT
+    c_state[slot] = L1_IV
+    pin: List[bool] = ctx[CTX1_PIN]
+    pin[slot] = True
+    return R_MISS_SEND
+
+
+def mesi_l1_would_stall(ctx: list, block: int, is_load: bool) -> bool:
+    """Probe of the MESI L1 STALL exits, including the same-block store
+    serialization stall."""
+    mtag: Dict[int, int] = ctx[CTX1_MTAG]
+    ms = mtag.get(block, -1)
+    if is_load:
+        tag: Dict[int, int] = ctx[CTX1_TAG]
+        c_state: List[int] = ctx[CTX1_STATE]
+        slot = tag.get(block, -1)
+        if slot >= 0 and c_state[slot] == L1_V:
+            return False
+        mcap: int = ctx[CTX1_MCAP]
+        if ms < 0 and len(mtag) >= mcap:
+            return True
+        if slot >= 0:
+            return False
+        shift: int = ctx[CTX1_SHIFT]
+        n_sets: int = ctx[CTX1_NSETS]
+        assoc: int = ctx[CTX1_ASSOC]
+        base = ((block >> shift) % n_sets) * assoc
+        c_used: List[bool] = ctx[CTX1_USED]
+        c_pinned: List[bool] = ctx[CTX1_PIN]
+        return not can_fill(c_used, c_pinned, base, assoc)
+    if ms >= 0:
+        m_stores: list = ctx[CTX1_MSTORES]
+        lst = m_stores[ms]
+        if len(lst) > 0:
+            return True
+        return False
+    mcap2: int = ctx[CTX1_MCAP]
+    return len(mtag) >= mcap2
+
+
+def mesi_l1_store(ctx: list, block: int, is_atomic: bool,
+                  out: List[int]) -> int:
+    """Fused MESI L1 store/atomic issue: serialization + capacity stall
+    checks, stat bumps, MSHR allocation, write-through bookkeeping.
+    out[0] = MSHR slot, out[1] = 1 when the V copy must self-invalidate
+    (the wrapper removes the line and emits)."""
+    mtag: Dict[int, int] = ctx[CTX1_MTAG]
+    ms = mtag.get(block, -1)
+    if ms >= 0:
+        m_stores: list = ctx[CTX1_MSTORES]
+        lst = m_stores[ms]
+        if len(lst) > 0:
+            # Same-block stores serialize until the previous ack returns.
+            return R_STALL
+    else:
+        mcap: int = ctx[CTX1_MCAP]
+        if len(mtag) >= mcap:
+            return R_STALL
+    stats: List[int] = ctx[CTX1_STATS]
+    if is_atomic:
+        stats[ST1_ATOMICS] += 1
+    else:
+        stats[ST1_STORES] += 1
+    ms = _l1_mshr_alloc(ctx, block)
+    tag: Dict[int, int] = ctx[CTX1_TAG]
+    slot = tag.get(block, -1)
+    was_v = 0
+    if slot >= 0:
+        c_state: List[int] = ctx[CTX1_STATE]
+        if c_state[slot] == L1_V:
+            was_v = 1  # write-through, write-no-allocate: drop the copy
+            stats[ST1_SELF_INVALS] += 1
+        else:
+            pin: List[bool] = ctx[CTX1_PIN]
+            pin[slot] = True
+    out[0] = ms
+    out[1] = was_v
+    return R_SEND
+
+
+# ----------------------------------------------------------------------
+# RCC L2 handlers
+# ----------------------------------------------------------------------
+
+def _l2_can_alloc(ctx: list, block: int, slot: int) -> bool:
+    if slot >= 0:
+        return True
+    shift: int = ctx[CTX2_SHIFT]
+    n_sets: int = ctx[CTX2_NSETS]
+    assoc: int = ctx[CTX2_ASSOC]
+    base = ((block >> shift) % n_sets) * assoc
+    c_used: List[bool] = ctx[CTX2_USED]
+    c_pinned: List[bool] = ctx[CTX2_PIN]
+    return can_fill(c_used, c_pinned, base, assoc)
+
+
+def rcc_l2_gets(ctx: list, block: int, m_now: int, has_exp: bool,
+                m_exp: int, counted: bool, expired: bool, has_pc: bool,
+                pc: int, msg: Any, out: List[int]) -> int:
+    """Fused RCC L2 GETS dispatch: stats, table lookup, and for V-state
+    grants the whole lease computation (policy arithmetic, exp update,
+    LRU touch, renew decision). Grant returns leave out = [slot, ver,
+    exp, prev_exp, lease]; the wrapper draws the arrival, emits, and
+    sends DATA/RENEW. Non-built-in policies return R_NEED_LEASE after
+    the hit stat (the wrapper runs the object-path grant)."""
+    stats: List[int] = ctx[CTX2_STATS]
+    if not counted:
+        stats[ST2_GETS] += 1
+        if expired:
+            stats[ST2_GETS_EXPIRED] += 1
+    tag: Dict[int, int] = ctx[CTX2_TAG]
+    c_state: List[int] = ctx[CTX2_STATE]
+    slot = tag.get(block, -1)
+    st = L2_NONE if slot < 0 else c_state[slot]
+    act = RCC_L2_GETS[st]
+
+    if act == A_GRANT:
+        stats[ST2_HITS] += 1
+        pol: int = ctx[CTX2_POL]
+        if pol == P_OTHER:
+            out[0] = slot
+            return R_NEED_LEASE
+        c_ver: List[int] = ctx[CTX2_VER]
+        c_exp: List[int] = ctx[CTX2_EXP]
+        ver = c_ver[slot]
+        lease = _policy_lease_for(ctx, slot, m_now, ver, has_pc, pc)
+        prev_exp = c_exp[slot]
+        exp = prev_exp
+        t = ver + lease
+        if t > exp:
+            exp = t
+        t = m_now + lease
+        if t > exp:
+            exp = t
+        c_exp[slot] = exp
+        lru_box: List[int] = ctx[CTX2_LRUBOX]
+        c_lru: List[int] = ctx[CTX2_LRU]
+        t = lru_box[0] + 1
+        lru_box[0] = t
+        c_lru[slot] = t
+        renew_en: bool = ctx[CTX2_RENEW]
+        renewing = renew_en and has_exp and m_exp > ver
+        if has_exp and m_exp <= ver:
+            # The requester's lease outlived the data (written since):
+            # the policy's mispredict signal, independent of renewal.
+            _policy_on_expired_miss(ctx, slot, has_pc, pc)
+        if renewing:
+            stats[ST2_RENEW_GRANTS] += 1
+            _policy_on_renew(ctx, slot, has_pc, pc)
+        out[0] = slot
+        out[1] = ver
+        out[2] = exp
+        out[3] = prev_exp
+        out[4] = lease
+        return R_GRANT_RENEW if renewing else R_GRANT_DATA
+    if act == A_RETRY:
+        return R_RETRY
+    if act == A_MERGE_RD:
+        ms = _l2_mshr_alloc(ctx, block)
+        m_lastrd: List[int] = ctx[CTX2_MLASTRD]
+        if m_now > m_lastrd[ms]:
+            m_lastrd[ms] = m_now
+        m_hasrd: List[bool] = ctx[CTX2_MHASRD]
+        m_hasrd[ms] = True
+        m_loads: list = ctx[CTX2_MLOADS]
+        m_loads[ms].append(msg)
+        return R_MERGE_RD
+    # A_FETCH: miss, fetch from DRAM.
+    mtag: Dict[int, int] = ctx[CTX2_MTAG]
+    mcap: int = ctx[CTX2_MCAP]
+    if not (len(mtag) < mcap or block in mtag):
+        return R_RETRY
+    if not _l2_can_alloc(ctx, block, slot):
+        return R_RETRY
+    stats[ST2_MISSES] += 1
+    ms = _l2_mshr_alloc(ctx, block)
+    m_lastrd2: List[int] = ctx[CTX2_MLASTRD]
+    if m_now > m_lastrd2[ms]:
+        m_lastrd2[ms] = m_now
+    m_hasrd2: List[bool] = ctx[CTX2_MHASRD]
+    m_hasrd2[ms] = True
+    m_loads2: list = ctx[CTX2_MLOADS]
+    m_loads2[ms].append(msg)
+    return R_FETCH
+
+
+def _rcc_l2_merge_write(ctx: list, block: int, m_now: int,
+                        value: Any) -> int:
+    """IV-state write merge bookkeeping; returns the merged ``lastwr``.
+    The final version is ``max(lastwr, mnow)`` — computed by the wrapper
+    *after* any line insertion, because an eviction there bumps mnow."""
+    ms = _l2_mshr_alloc(ctx, block)
+    m_lastwr: List[int] = ctx[CTX2_MLASTWR]
+    if m_now > m_lastwr[ms]:
+        m_lastwr[ms] = m_now
+    m_store: list = ctx[CTX2_MSTOREVAL]
+    m_store[ms] = value
+    m_haswr: List[bool] = ctx[CTX2_MHASWR]
+    m_haswr[ms] = True
+    return m_lastwr[ms]
+
+
+def rcc_l2_write(ctx: list, block: int, m_now: int, counted: bool,
+                 value: Any, out: List[int]) -> int:
+    """Fused RCC L2 WRITE dispatch. R_APPLY leaves out = [slot, ver,
+    prev_ver, prev_exp] (instant write permission: ver = max(m_now, ver,
+    exp+1), columns updated, built-in policy observed). R_MERGE_WR /
+    R_FETCH_WR leave out[0] = merged lastwr."""
+    stats: List[int] = ctx[CTX2_STATS]
+    if not counted:
+        stats[ST2_WRITES] += 1
+    tag: Dict[int, int] = ctx[CTX2_TAG]
+    c_state: List[int] = ctx[CTX2_STATE]
+    slot = tag.get(block, -1)
+    st = L2_NONE if slot < 0 else c_state[slot]
+    act = RCC_L2_WRITE[st]
+
+    if act == A_APPLY:
+        stats[ST2_HITS] += 1
+        c_ver: List[int] = ctx[CTX2_VER]
+        c_exp: List[int] = ctx[CTX2_EXP]
+        prev_ver = c_ver[slot]
+        prev_exp = c_exp[slot]
+        # Rules 2+3: past the writer's now, the last write, and every
+        # outstanding lease — computed locally, acknowledged instantly.
+        ver = prev_exp + 1
+        if prev_ver > ver:
+            ver = prev_ver
+        if m_now > ver:
+            ver = m_now
+        c_ver[slot] = ver
+        c_value: list = ctx[CTX2_VALUE]
+        c_value[slot] = value
+        c_dirty: List[bool] = ctx[CTX2_DIRTY]
+        c_dirty[slot] = True
+        lru_box: List[int] = ctx[CTX2_LRUBOX]
+        c_lru: List[int] = ctx[CTX2_LRU]
+        t = lru_box[0] + 1
+        lru_box[0] = t
+        c_lru[slot] = t
+        pol: int = ctx[CTX2_POL]
+        if pol != P_OTHER:
+            _policy_on_write(ctx, slot)
+        out[0] = slot
+        out[1] = ver
+        out[2] = prev_ver
+        out[3] = prev_exp
+        return R_APPLY
+    if act == A_RETRY:
+        return R_RETRY
+    if act == A_MERGE_WR:
+        out[0] = _rcc_l2_merge_write(ctx, block, m_now, value)
+        return R_MERGE_WR
+    # A_FETCH: allocate, ack against lastwr/mnow, fetch in background.
+    mtag: Dict[int, int] = ctx[CTX2_MTAG]
+    mcap: int = ctx[CTX2_MCAP]
+    if not (len(mtag) < mcap or block in mtag):
+        return R_RETRY
+    if not _l2_can_alloc(ctx, block, slot):
+        return R_RETRY
+    stats[ST2_MISSES] += 1
+    out[0] = _rcc_l2_merge_write(ctx, block, m_now, value)
+    return R_FETCH_WR
+
+
+def rcc_l2_atomic(ctx: list, block: int, m_now: int, counted: bool,
+                  value: Any, obox: list, out: List[int]) -> int:
+    """Fused RCC L2 ATOMIC dispatch. R_APPLY leaves out = [slot, ver,
+    prev_ver, prev_exp] and the pre-RMW value in obox[0]; R_FETCH_AT
+    leaves out[0] = MSHR slot (the wrapper inserts the IAV line, stashes
+    the message, and fetches)."""
+    stats: List[int] = ctx[CTX2_STATS]
+    if not counted:
+        stats[ST2_ATOMICS] += 1
+    tag: Dict[int, int] = ctx[CTX2_TAG]
+    c_state: List[int] = ctx[CTX2_STATE]
+    slot = tag.get(block, -1)
+    st = L2_NONE if slot < 0 else c_state[slot]
+    act = RCC_L2_ATOMIC[st]
+
+    if act == A_APPLY:
+        stats[ST2_HITS] += 1
+        c_ver: List[int] = ctx[CTX2_VER]
+        c_exp: List[int] = ctx[CTX2_EXP]
+        prev_ver = c_ver[slot]
+        prev_exp = c_exp[slot]
+        ver = prev_exp + 1
+        if prev_ver > ver:
+            ver = prev_ver
+        if m_now > ver:
+            ver = m_now
+        c_value: list = ctx[CTX2_VALUE]
+        obox[0] = c_value[slot]
+        c_ver[slot] = ver
+        c_value[slot] = value
+        c_dirty: List[bool] = ctx[CTX2_DIRTY]
+        c_dirty[slot] = True
+        lru_box: List[int] = ctx[CTX2_LRUBOX]
+        c_lru: List[int] = ctx[CTX2_LRU]
+        t = lru_box[0] + 1
+        lru_box[0] = t
+        c_lru[slot] = t
+        pol: int = ctx[CTX2_POL]
+        if pol != P_OTHER:
+            _policy_on_write(ctx, slot)
+        out[0] = slot
+        out[1] = ver
+        out[2] = prev_ver
+        out[3] = prev_exp
+        return R_APPLY
+    if act == A_RETRY:  # IV or IAV: stall all further requests
+        return R_RETRY
+    # A_FETCH: miss in I — fetch and run the RMW when data arrives.
+    mtag: Dict[int, int] = ctx[CTX2_MTAG]
+    mcap: int = ctx[CTX2_MCAP]
+    if len(mtag) >= mcap:
+        return R_RETRY
+    if not _l2_can_alloc(ctx, block, slot):
+        return R_RETRY
+    stats[ST2_MISSES] += 1
+    ms = _l2_mshr_alloc(ctx, block)
+    m_lastwr: List[int] = ctx[CTX2_MLASTWR]
+    if m_now > m_lastwr[ms]:
+        m_lastwr[ms] = m_now
+    m_haswr: List[bool] = ctx[CTX2_MHASWR]
+    m_haswr[ms] = True
+    out[0] = ms
+    return R_FETCH_AT
+
+
+# ----------------------------------------------------------------------
+# MESI L2 handlers
+# ----------------------------------------------------------------------
+
+def mesi_l2_gets(ctx: list, block: int, counted: bool, src: Any,
+                 msg: Any, out: List[int]) -> int:
+    """Fused MESI L2 GETS dispatch: sharer add + LRU touch for grants
+    (out = [slot, len(sharers)]), MSHR merge for IV. A grant blocked on
+    a pending invalidation returns R_RETRY; misses return R_FETCH for
+    the wrapper's inherited ``_miss_fetch``."""
+    stats: List[int] = ctx[CTX2_STATS]
+    if not counted:
+        stats[ST2_GETS] += 1
+    tag: Dict[int, int] = ctx[CTX2_TAG]
+    c_state: List[int] = ctx[CTX2_STATE]
+    slot = tag.get(block, -1)
+    st = L2_NONE if slot < 0 else c_state[slot]
+    act = MESI_L2_GETS[st]
+    if act == A_GRANT:
+        c_meta: list = ctx[CTX2_META]
+        m = c_meta[slot]
+        if m is not None and m.get("inv_pending") is not None:
+            return R_RETRY
+        stats[ST2_HITS] += 1
+        c_sharers: list = ctx[CTX2_SHARERS]
+        s = c_sharers[slot]
+        if s is None:
+            s = set()
+            c_sharers[slot] = s
+        s.add(src)
+        lru_box: List[int] = ctx[CTX2_LRUBOX]
+        c_lru: List[int] = ctx[CTX2_LRU]
+        t = lru_box[0] + 1
+        lru_box[0] = t
+        c_lru[slot] = t
+        out[0] = slot
+        out[1] = len(s)
+        return R_GRANT
+    if act == A_MERGE_RD:
+        ms = _l2_mshr_alloc(ctx, block)
+        m_loads: list = ctx[CTX2_MLOADS]
+        m_loads[ms].append(msg)
+        return R_MERGE_RD
+    return R_FETCH
+
+
+def mesi_l2_getx(ctx: list, block: int, counted: bool, atomic: bool,
+                 msg: Any, scratch: list, out: List[int]) -> int:
+    """Fused MESI L2 GETX/ATOMIC dispatch. R_APPLY (out[0]=slot): no
+    sharers, wrapper applies the write through the object path.
+    R_INV_FANOUT (out = [slot, n]): sharers sorted into ``scratch``,
+    ``inv_pending`` installed, line pinned, inval stat bumped — the
+    wrapper sends the INVs. R_MERGE_WR: queued behind the outstanding
+    fill. R_FETCH: wrapper's inherited ``_miss_fetch``."""
+    stats: List[int] = ctx[CTX2_STATS]
+    if not counted:
+        if atomic:
+            stats[ST2_ATOMICS] += 1
+        else:
+            stats[ST2_WRITES] += 1
+    tag: Dict[int, int] = ctx[CTX2_TAG]
+    c_state: List[int] = ctx[CTX2_STATE]
+    slot = tag.get(block, -1)
+    st = L2_NONE if slot < 0 else c_state[slot]
+    act = MESI_L2_GETX[st]
+    if act == A_APPLY:
+        c_meta: list = ctx[CTX2_META]
+        m = c_meta[slot]
+        if m is not None and m.get("inv_pending") is not None:
+            return R_RETRY
+        stats[ST2_HITS] += 1
+        c_sharers: list = ctx[CTX2_SHARERS]
+        s = c_sharers[slot]
+        n = 0 if s is None else len(s)
+        if n == 0:
+            out[0] = slot
+            return R_APPLY
+        # Sorted so the invalidation order never depends on set iteration
+        # order (PYTHONHASHSEED) — as in the object kernel.
+        for peer in sorted(s):
+            scratch.append(peer)
+        if m is None:
+            m = {}
+            c_meta[slot] = m
+        m["inv_pending"] = {"remaining": n, "msg": msg, "atomic": atomic}
+        c_pinned: List[bool] = ctx[CTX2_PIN]
+        c_pinned[slot] = True  # not evictable while collecting acks
+        s.clear()
+        stats[ST2_INVALS_SENT] += n
+        out[0] = slot
+        out[1] = n
+        return R_INV_FANOUT
+    if act == A_MERGE_WR:
+        ms = _l2_mshr_alloc(ctx, block)
+        m_stores: list = ctx[CTX2_MSTORES]
+        m_stores[ms].append((msg, atomic))
+        return R_MERGE_WR
+    return R_FETCH
+
+
+# ----------------------------------------------------------------------
+# Engine batch drain
+# ----------------------------------------------------------------------
+
+def drain_calls(lst: list, ctl: List[int]) -> None:
+    """Drain a cycle bucket known to hold only bare ``schedule_call``
+    callbacks (and ``None`` holes) — the engine's steady-state shape.
+
+    ``ctl`` is the engine's drain-control box: [stop, index, event
+    appended, fired]. The loop re-reads ``len(lst)`` every iteration
+    (callbacks append same-cycle bare callbacks mid-drain) and returns
+    control to the Python loop as soon as ``stop()`` is called or a
+    handle-carrying :class:`Event` lands in the current bucket
+    (ctl[2]); the ``finally`` keeps the resume cursor and fired count
+    consistent when a callback raises."""
+    idx = ctl[1]
+    fired = ctl[3]
+    try:
+        while idx < len(lst):
+            if ctl[0] != 0 or ctl[2] != 0:
+                break
+            cb = lst[idx]
+            idx += 1
+            if cb is None:
+                continue
+            lst[idx - 1] = None
+            fired += 1
+            cb()
+    finally:
+        ctl[1] = idx
+        ctl[3] = fired

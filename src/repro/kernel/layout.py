@@ -41,7 +41,7 @@ reading its final fields, exactly the stale-``CacheLine`` aliasing the
 object kernel gives (eviction callbacks and the MESI recall tests rely
 on it); only the free path pays the snapshot allocation.
 
-Determinism: LRU ticks come from the same global ``itertools.count`` as
+Determinism: LRU ticks come from the same global clock box as
 ``CacheArray`` and are consumed at exactly the same sequence points
 (line creation and ``touch``), so victim selection is bit-identical
 between kernels (see ``pick_victim`` in :mod:`repro.kernel.hot`).
@@ -54,7 +54,7 @@ from typing import Any, Callable, Iterator, List, Optional
 from repro.config import CacheConfig
 from repro.errors import SimulationError
 from repro.kernel import hot
-from repro.mem.cache_array import _lru_ticks
+from repro.mem.cache_array import _lru_clock, _next_lru
 
 
 class FlatLineView:
@@ -154,7 +154,7 @@ class FlatLineView:
         self._arr.c_lru[self._slot] = value
 
     def touch(self) -> None:
-        self._arr.c_lru[self._slot] = next(_lru_ticks)
+        self._arr.c_lru[self._slot] = _next_lru()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<FlatLine 0x{self.addr:x} {self.state} ver={self.ver} "
@@ -281,7 +281,7 @@ class FlatTagArray:
         c_state = self.c_state
         if slot is not None:
             c_state[slot] = state_code
-            self.c_lru[slot] = next(_lru_ticks)
+            self.c_lru[slot] = _next_lru()
             return slot
         base = ((block >> self._block_shift) % self.n_sets) * self.assoc
         c_used = self.c_used
@@ -298,18 +298,10 @@ class FlatTagArray:
             if evict_cb is not None:
                 evict_cb(victim)
             del tag[victim_block]
-        c_used[slot] = True
-        self.c_addr[slot] = block
-        c_state[slot] = state_code
-        self.c_exp[slot] = 0
-        self.c_ver[slot] = 0
-        self.c_dirty[slot] = False
-        self.c_value[slot] = None
-        self.c_pinned[slot] = False
-        self.c_sharers[slot] = None
-        self.c_meta[slot] = None
-        self.c_lru[slot] = next(_lru_ticks)
-        tag[block] = slot
+        hot.fill_slot(tag, c_used, self.c_addr, c_state, self.c_exp,
+                      self.c_ver, self.c_dirty, self.c_value,
+                      self.c_pinned, self.c_sharers, self.c_meta,
+                      self.c_lru, _lru_clock, block, slot, state_code)
         return slot
 
     def can_allocate(self, addr: int) -> bool:
@@ -374,3 +366,293 @@ class FlatTagArray:
         for slot in list(self._tag.values()):
             self._detach(slot)
         self._tag.clear()
+
+
+class FlatMSHREntryView:
+    """``MSHREntry``-shaped handle over one slot of a :class:`FlatMSHRFile`.
+
+    Views are persistent per slot (no allocation on the hot path). Unlike
+    cache-line views there is no detach-on-release: an audit of every
+    handler shows no entry reference is held across a ``release``, so the
+    stale-read protection would buy nothing.
+    """
+
+    __slots__ = ("_m", "_slot")
+
+    def __init__(self, m: "FlatMSHRFile", slot: int):
+        self._m = m
+        self._slot = slot
+
+    @property
+    def addr(self) -> int:
+        return self._m.m_addr[self._slot]
+
+    @property
+    def waiting_loads(self) -> list:
+        return self._m.m_loads[self._slot]
+
+    @waiting_loads.setter
+    def waiting_loads(self, value: list) -> None:
+        self._m.m_loads[self._slot] = value
+
+    @property
+    def pending_stores(self) -> list:
+        return self._m.m_stores[self._slot]
+
+    @pending_stores.setter
+    def pending_stores(self, value: list) -> None:
+        self._m.m_stores[self._slot] = value
+
+    @property
+    def lastrd(self) -> int:
+        return self._m.m_lastrd[self._slot]
+
+    @lastrd.setter
+    def lastrd(self, value: int) -> None:
+        self._m.m_lastrd[self._slot] = value
+
+    @property
+    def lastwr(self) -> int:
+        return self._m.m_lastwr[self._slot]
+
+    @lastwr.setter
+    def lastwr(self, value: int) -> None:
+        self._m.m_lastwr[self._slot] = value
+
+    @property
+    def has_read(self) -> bool:
+        return self._m.m_has_read[self._slot]
+
+    @has_read.setter
+    def has_read(self, value: bool) -> None:
+        self._m.m_has_read[self._slot] = value
+
+    @property
+    def has_write(self) -> bool:
+        return self._m.m_has_write[self._slot]
+
+    @has_write.setter
+    def has_write(self, value: bool) -> None:
+        self._m.m_has_write[self._slot] = value
+
+    @property
+    def store_value(self) -> Any:
+        return self._m.m_store_value[self._slot]
+
+    @store_value.setter
+    def store_value(self, value: Any) -> None:
+        self._m.m_store_value[self._slot] = value
+
+    @property
+    def meta(self) -> dict:
+        m = self._m.m_meta[self._slot]
+        if m is None:
+            m = {}
+            self._m.m_meta[self._slot] = m
+        return m
+
+    @meta.setter
+    def meta(self, value: dict) -> None:
+        self._m.m_meta[self._slot] = value
+
+    @property
+    def empty(self) -> bool:
+        s = self._slot
+        return not self._m.m_loads[s] and not self._m.m_stores[s]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<MSHR 0x{self.addr:x} loads={len(self.waiting_loads)} "
+                f"stores={len(self.pending_stores)}>")
+
+
+class _EntryMap:
+    """Read-only ``MSHRFile._entries``-shaped facade: block -> entry view."""
+
+    __slots__ = ("_tag", "_views")
+
+    def __init__(self, tag: dict, views: List[FlatMSHREntryView]):
+        self._tag = tag
+        self._views = views
+
+    def get(self, block: int, default: Any = None) -> Any:
+        slot = self._tag.get(block)
+        return self._views[slot] if slot is not None else default
+
+    def __getitem__(self, block: int) -> FlatMSHREntryView:
+        return self._views[self._tag[block]]
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._tag
+
+    def __len__(self) -> int:
+        return len(self._tag)
+
+    def keys(self):
+        return self._tag.keys()
+
+    def values(self) -> Iterator[FlatMSHREntryView]:
+        views = self._views
+        return (views[s] for s in self._tag.values())
+
+
+class FlatMSHRFile:
+    """Drop-in ``MSHRFile`` replacement backed by parallel columns.
+
+    Slot allocation is a LIFO free list shared with the hot kernel
+    (``hot._l1_mshr_alloc`` / ``hot._l2_mshr_alloc`` pop the same list),
+    so interleaved hot/cold allocations stay consistent. ``_tag`` mirrors
+    ``MSHRFile._entries``' dict insertion order exactly (``entries()``
+    iteration order is observable via rollover resets).
+
+    ``gets_out`` lives in the dedicated ``m_gets_out`` column rather
+    than the per-entry meta dict: every reader/writer of that flag in
+    the flat controllers is overridden, and a boolean column read beats
+    a lazy dict probe on the per-load hot path.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise SimulationError("MSHR capacity must be positive")
+        self.capacity = capacity
+        n = capacity
+        self.m_addr: List[int] = [-1] * n
+        self.m_lastrd: List[int] = [0] * n
+        self.m_lastwr: List[int] = [0] * n
+        self.m_has_read: List[bool] = [False] * n
+        self.m_has_write: List[bool] = [False] * n
+        self.m_gets_out: List[bool] = [False] * n
+        self.m_store_value: List[Any] = [None] * n
+        self.m_loads: List[list] = [[] for _ in range(n)]
+        self.m_stores: List[list] = [[] for _ in range(n)]
+        self.m_meta: List[Optional[dict]] = [None] * n
+        #: block -> slot; the hot-path index.
+        self._tag: dict = {}
+        #: Free slots, popped LIFO (slot 0 first from a fresh file).
+        self._free: List[int] = list(range(n - 1, -1, -1))
+        #: Peak-occupancy box (shared with the hot allocators).
+        self._peak: List[int] = [0]
+        self._views: List[FlatMSHREntryView] = [
+            FlatMSHREntryView(self, s) for s in range(n)]
+        self._entries = _EntryMap(self._tag, self._views)
+
+    # ------------------------------------------------------------------
+    def get(self, addr: int) -> Optional[FlatMSHREntryView]:
+        slot = self._tag.get(addr)
+        return self._views[slot] if slot is not None else None
+
+    def has_free(self) -> bool:
+        return len(self._tag) < self.capacity
+
+    def allocate(self, addr: int) -> FlatMSHREntryView:
+        """Get-or-create the entry for ``addr``; caller must have checked
+        :meth:`has_free` when creating new entries."""
+        slot = self._tag.get(addr)
+        if slot is None:
+            if not self.has_free():
+                raise SimulationError("MSHR allocation with no free entry")
+            slot = self._free.pop()
+            self.m_addr[slot] = addr
+            self.m_lastrd[slot] = 0
+            self.m_lastwr[slot] = 0
+            self.m_has_read[slot] = False
+            self.m_has_write[slot] = False
+            self.m_gets_out[slot] = False
+            self.m_store_value[slot] = None
+            self.m_loads[slot] = []
+            self.m_stores[slot] = []
+            self.m_meta[slot] = None
+            self._tag[addr] = slot
+            n = len(self._tag)
+            if n > self._peak[0]:
+                self._peak[0] = n
+        return self._views[slot]
+
+    def release(self, addr: int) -> None:
+        slot = self._tag.get(addr)
+        if slot is None:
+            raise SimulationError(f"releasing absent MSHR entry 0x{addr:x}")
+        if self.m_loads[slot] or self.m_stores[slot]:
+            # Refuse *without* dropping the entry: the outstanding requests
+            # it tracks must stay reachable for whoever handles the error.
+            raise SimulationError(
+                f"releasing non-empty MSHR entry 0x{addr:x}: "
+                f"{self._views[slot]!r}"
+            )
+        del self._tag[addr]
+        # Drop object references eagerly so a recycled slot can never leak
+        # a previous block's store token or meta dict into a fresh entry.
+        self.m_store_value[slot] = None
+        self.m_meta[slot] = None
+        self._free.append(slot)
+
+    def release_if_empty(self, addr: int) -> bool:
+        slot = self._tag.get(addr)
+        if slot is not None and not self.m_loads[slot] \
+                and not self.m_stores[slot]:
+            del self._tag[addr]
+            self.m_store_value[slot] = None
+            self.m_meta[slot] = None
+            self._free.append(slot)
+            return True
+        return False
+
+    @property
+    def peak_occupancy(self) -> int:
+        return self._peak[0]
+
+    def __len__(self) -> int:
+        return len(self._tag)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._tag
+
+    def entries(self):
+        views = self._views
+        return [views[s] for s in self._tag.values()]
+
+    def clear(self) -> None:
+        self._tag.clear()
+        n = self.capacity
+        self._free = list(range(n - 1, -1, -1))
+        self.m_store_value = [None] * n
+        self.m_meta = [None] * n
+        self.m_loads = [[] for _ in range(n)]
+        self.m_stores = [[] for _ in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Hot-kernel context builders (layouts pinned by hot.CTX1_* / hot.CTX2_*)
+# ----------------------------------------------------------------------
+
+def build_l1_ctx(cache: FlatTagArray, mshr: FlatMSHRFile,
+                 stats_c: List[int]) -> list:
+    """One-time context list for the fused L1 handlers."""
+    return [
+        cache._tag, cache.c_state, cache.c_exp, cache.c_lru,
+        cache.c_pinned, cache.c_used, cache.c_value,
+        mshr._tag, mshr._free, mshr.m_loads, mshr.m_stores,
+        mshr.m_gets_out, mshr._peak,
+        stats_c, _lru_clock,
+        mshr.capacity, cache.assoc, cache.n_sets, cache._block_shift,
+    ]
+
+
+def build_l2_ctx(cache: FlatTagArray, mshr: FlatMSHRFile,
+                 stats_c: List[int], pc_table: dict, pol: int,
+                 pol_enabled: bool, lease_min: int, lease_max: int,
+                 lease_default: int, renew_enabled: bool) -> list:
+    """One-time context list for the fused L2 handlers. ``pc_table`` is
+    the pc-pred policy's *instance* dict (shared, so the object path and
+    the hot path observe one table)."""
+    return [
+        cache._tag, cache.c_state, cache.c_exp, cache.c_ver, cache.c_lru,
+        cache.c_pinned, cache.c_used, cache.c_value, cache.c_dirty,
+        cache.c_meta, cache.c_sharers,
+        mshr._tag, mshr._free, mshr.m_lastrd, mshr.m_lastwr,
+        mshr.m_has_read, mshr.m_has_write, mshr.m_store_value,
+        mshr.m_loads, mshr.m_stores, mshr.m_meta, mshr._peak,
+        stats_c, _lru_clock, pc_table,
+        mshr.capacity, cache.assoc, cache.n_sets, cache._block_shift,
+        pol, pol_enabled, lease_min, lease_max, lease_default,
+        renew_enabled,
+    ]

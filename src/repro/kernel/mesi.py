@@ -1,11 +1,13 @@
 """Flat-kernel MESI controllers (the paper's SC directory baseline).
 
-Transliterations of :class:`~repro.coherence.mesi.MESIL1Controller` and
-:class:`~repro.coherence.mesi.MESIL2Controller` hot paths onto flat
-columns with table dispatch — same contract as :mod:`repro.kernel.rcc`:
-observable behavior is bit-identical to the object controllers, and the
-cold paths (DRAM fills, evictions/recalls, ``_apply_write``) reuse the
-parent implementations through :class:`FlatLineView` handles.
+Thin wrappers over the fused hot kernel — same contract as
+:mod:`repro.kernel.rcc`: one :mod:`repro.kernel.hot` call per event does
+the table dispatch, stat bumps, sharer bookkeeping, and column writes;
+the wrapper performs only the object-boundary work (messages, emits,
+completions). Observable behavior is bit-identical to the object
+controllers, and the cold paths (DRAM fills, evictions/recalls,
+``_apply_write``) reuse the parent implementations through
+:class:`FlatLineView` / :class:`FlatMSHREntryView` handles.
 """
 
 from __future__ import annotations
@@ -19,90 +21,71 @@ from repro.coherence.mesi import MESIL1Controller, MESIL2Controller, \
     RETRY_DELAY
 from repro.gpu.warp import MemOpRecord, Warp
 from repro.kernel import hot
-from repro.kernel.layout import FlatTagArray
-from repro.mem.cache_array import _lru_ticks
+from repro.kernel.layout import FlatMSHRFile, FlatTagArray, build_l1_ctx, \
+    build_l2_ctx
 from repro.sanitize.events import EventKind as EV
 from repro.timing.engine import _MASK as _RING_MASK
 
 _L1_V = hot.L1_V
 _L1_IV = hot.L1_IV
-_L1_NONE = hot.L1_NONE
 _L2_V = hot.L2_V
-_L2_NONE = hot.L2_NONE
 
-_MESI_L1_LOAD = hot.MESI_L1_LOAD
-_MESI_L2_GETS = hot.MESI_L2_GETS
-_MESI_L2_GETX = hot.MESI_L2_GETX
-
-_A_VHIT = hot.A_VHIT
-_A_GRANT = hot.A_GRANT
-_A_MERGE_RD = hot.A_MERGE_RD
-_A_APPLY = hot.A_APPLY
-_A_MERGE_WR = hot.A_MERGE_WR
+_R_HIT = hot.R_HIT
+_R_STALL = hot.R_STALL
+_R_MISS_MERGE = hot.R_MISS_MERGE
+_R_MISS_INSERT = hot.R_MISS_INSERT
+_R_RETRY = hot.R_RETRY
+_R_GRANT = hot.R_GRANT
+_R_MERGE_RD = hot.R_MERGE_RD
+_R_MERGE_WR = hot.R_MERGE_WR
+_R_APPLY = hot.R_APPLY
+_R_INV_FANOUT = hot.R_INV_FANOUT
+_R_FETCH = hot.R_FETCH
 
 
 class FlatMESIL1Controller(MESIL1Controller):
-    """Write-through MESI L1 over flat-array tag state."""
+    """Write-through MESI L1 with fused hot-kernel dispatch."""
 
     def __init__(self, core_id, engine, cfg, noc, amap):
         super().__init__(core_id, engine, cfg, noc, amap)
         self.cache = FlatTagArray(cfg.l1, L1State.I)
+        self.mshr = FlatMSHRFile(cfg.l1.mshr_entries)
+        self._ctx = build_l1_ctx(self.cache, self.mshr, self.stats.c)
+        self._out = [0, 0, 0, 0]
 
     # ------------------------------------------------------------------
     def would_stall(self, kind: MemOpKind, addr: int) -> bool:
         shift = self.amap._block_shift
         block = (addr >> shift) << shift
-        mshr = self.mshr
-        entry = mshr._entries.get(block)
-        if kind is MemOpKind.LOAD:
-            cache = self.cache
-            slot = cache._tag.get(block)
-            if slot is not None and cache.c_state[slot] == _L1_V:
-                return False
-            if entry is None and len(mshr._entries) >= mshr.capacity:
-                return True
-            return slot is None and not cache.can_allocate(block)
-        if entry is not None and entry.pending_stores:
-            return True
-        return entry is None and len(mshr._entries) >= mshr.capacity
+        return hot.mesi_l1_would_stall(self._ctx, block,
+                                       kind is MemOpKind.LOAD)
 
     def _load(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
         shift = self.amap._block_shift
         block = (record.addr >> shift) << shift
-        cache = self.cache
-        slot = cache._tag.get(block)
-        st = _L1_NONE if slot is None else cache.c_state[slot]
-        if _MESI_L1_LOAD[st] == _A_VHIT:
-            stats = self.stats
-            stats.loads += 1
-            stats.load_hits += 1
+        out = self._out
+        r = hot.mesi_l1_load(self._ctx, block, out)
+        if r == _R_HIT:
+            slot = out[0]
             if self.sanitizer is not None:
                 self._emit(EV.L1_LOAD_HIT, block)
-            record.read_value = cache.c_value[slot]
+            record.read_value = self.cache.c_value[slot]
             record.logical_ts = self.engine.now
             record.order_key = -1
-            cache.c_lru[slot] = next(_lru_ticks)
             self.complete(record, warp, delay=self.cfg.l1.hit_latency)
             return AccessOutcome.HIT
-        entries = self.mshr._entries
-        entry = entries.get(block)
-        if entry is None and len(entries) >= self.mshr.capacity:
+        if r == _R_STALL:
             return AccessOutcome.STALL
-        if slot is None and not cache.can_allocate(block):
-            return AccessOutcome.STALL
-        self.stats.loads += 1
-        self.stats.load_misses += 1
+        ms = out[0]
         if self.sanitizer is not None:
             self._emit(EV.L1_LOAD_MISS, block)
-        entry = self.mshr.allocate(block)
-        entry.waiting_loads.append((record, warp))
-        if entry.meta.get("gets_out"):
+        self.mshr.m_loads[ms].append((record, warp))
+        if r == _R_MISS_MERGE:
             return AccessOutcome.MISS
-        if slot is None:
+        if r == _R_MISS_INSERT:
+            cache = self.cache
             slot = cache.insert_slot(block, _L1_IV, self._on_evict)
-        cache.c_state[slot] = _L1_IV
-        cache.c_pinned[slot] = True
-        entry.meta["gets_out"] = True
+            cache.c_pinned[slot] = True
         self.send_to_l2(MsgKind.GETS, block)
         return AccessOutcome.MISS
 
@@ -110,38 +93,28 @@ class FlatMESIL1Controller(MESIL1Controller):
                          warp: Warp) -> AccessOutcome:
         shift = self.amap._block_shift
         block = (record.addr >> shift) << shift
-        entries = self.mshr._entries
-        entry = entries.get(block)
-        if entry is not None and entry.pending_stores:
-            # Same-block stores serialize until the previous ack returns.
+        is_atomic = record.kind is MemOpKind.ATOMIC
+        out = self._out
+        r = hot.mesi_l1_store(self._ctx, block, is_atomic, out)
+        if r == _R_STALL:
             return AccessOutcome.STALL
-        if entry is None and len(entries) >= self.mshr.capacity:
-            return AccessOutcome.STALL
-        self.count_access(record)
         if self.sanitizer is not None:
-            self._emit(EV.L1_STORE_ISSUE, block,
-                       atomic=record.kind is MemOpKind.ATOMIC)
-        entry = self.mshr.allocate(block)
-        entry.pending_stores.append((record, warp))
-        cache = self.cache
-        slot = cache._tag.get(block)
-        if slot is not None and cache.c_state[slot] == _L1_V:
-            cache.remove(block)  # write-through, write-no-allocate
-            self.stats.self_invalidations += 1
+            self._emit(EV.L1_STORE_ISSUE, block, atomic=is_atomic)
+        self.mshr.m_stores[out[0]].append((record, warp))
+        if out[1]:  # held a V copy: write-through, write-no-allocate
+            self.cache.remove(block)
             if self.sanitizer is not None:
                 self._emit(EV.L1_SELF_INVAL, block, reason="write_through")
-        elif slot is not None:
-            cache.c_pinned[slot] = True
-        kind = (MsgKind.ATOMIC if record.kind is MemOpKind.ATOMIC
-                else MsgKind.GETX)
-        self.send_to_l2(kind, block, value=record.value,
+        self.send_to_l2(MsgKind.ATOMIC if is_atomic else MsgKind.GETX,
+                        block, value=record.value,
                         meta={"record": record, "warp": warp})
         return AccessOutcome.MISS
 
     # ------------------------------------------------------------------
     def _on_data(self, msg: Message) -> None:
         block = msg.addr
-        entry = self.mshr._entries.get(block)
+        mshr = self.mshr
+        entry = mshr._entries.get(block)
         if msg.meta.get("atomic"):
             self._complete_store(msg, read_value=msg.value)
             return
@@ -178,10 +151,10 @@ class FlatMESIL1Controller(MESIL1Controller):
                 self.complete(record, warp)
             entry.waiting_loads = keep
             if keep:
-                entry.meta["gets_out"] = True
+                mshr.m_gets_out[entry._slot] = True
                 self.send_to_l2(MsgKind.GETS, block)
             else:
-                entry.meta["gets_out"] = False
+                mshr.m_gets_out[entry._slot] = False
             self._maybe_release(block)
 
     def _on_inv(self, msg: Message) -> None:
@@ -189,14 +162,15 @@ class FlatMESIL1Controller(MESIL1Controller):
         self.stats.invalidations_received += 1
         cache = self.cache
         slot = cache._tag.get(block)
-        entry = self.mshr._entries.get(block)
+        mshr = self.mshr
+        entry = mshr._entries.get(block)
         dropped = slot is not None and cache.c_state[slot] == _L1_V
         if self.sanitizer is not None:
             self._emit(EV.L1_INV, block, dropped=dropped,
                        recall=bool(msg.meta.get("recall")))
         if dropped:
             cache.remove(block)
-        if entry is not None and entry.meta.get("gets_out"):
+        if entry is not None and mshr.m_gets_out[entry._slot]:
             entry.meta["inv_after_fill"] = True
             entry.meta.setdefault("safe_count", len(entry.waiting_loads))
         self.send_to_l2(MsgKind.INV_ACK, block,
@@ -216,11 +190,18 @@ class FlatMESIL1Controller(MESIL1Controller):
 
 
 class FlatMESIL2Controller(MESIL2Controller):
-    """MESI directory bank over flat-array state."""
+    """MESI directory bank with fused hot-kernel dispatch."""
 
     def __init__(self, bank_id, engine, cfg, noc, amap, dram, backing):
         super().__init__(bank_id, engine, cfg, noc, amap, dram, backing)
         self.cache = FlatTagArray(cfg.l2_per_bank, L2State.I)
+        self.mshr = FlatMSHRFile(cfg.l2_per_bank.mshr_entries)
+        # MESI grants no leases; the policy slots of the shared L2 layout
+        # are inert placeholders.
+        self._ctx = build_l2_ctx(self.cache, self.mshr, self.stats.c, {},
+                                 hot.P_FIXED, False, 0, 0, 0, False)
+        self._out = [0, 0]
+        self._scratch: list = []
 
     # ------------------------------------------------------------------
     def _retry(self, msg: Message) -> None:
@@ -288,84 +269,55 @@ class FlatMESIL2Controller(MESIL2Controller):
     # ------------------------------------------------------------------
     def _on_gets(self, msg: Message) -> None:
         meta = msg.meta
-        if not meta.get("_counted"):
-            meta["_counted"] = True
-            self.stats.gets += 1
+        counted = bool(meta.get("_counted"))
+        meta["_counted"] = True
         block = msg.addr
-        cache = self.cache
-        slot = cache._tag.get(block)
-        st = _L2_NONE if slot is None else cache.c_state[slot]
-        act = _MESI_L2_GETS[st]
-        if act == _A_GRANT:
-            m = cache.c_meta[slot]
-            if m is not None and m.get("inv_pending") is not None:
-                self._retry(msg)
-                return
-            self.stats.hits += 1
-            sharers = cache.c_sharers[slot]
-            if sharers is None:
-                sharers = set()
-                cache.c_sharers[slot] = sharers
-            sharers.add(msg.src)
-            cache.c_lru[slot] = next(_lru_ticks)
+        out = self._out
+        r = hot.mesi_l2_gets(self._ctx, block, counted, msg.src, msg, out)
+        if r == _R_GRANT:
+            slot = out[0]
             if self.sanitizer is not None:
                 self._emit(EV.L2_READ_GRANT, block, peer=msg.src[1],
-                           sharers=len(sharers))
+                           sharers=out[1])
             self.send(msg.src, MsgKind.DATA, block,
-                      value=cache.c_value[slot],
+                      value=self.cache.c_value[slot],
                       meta={"arrival": self.next_arrival(),
                             "granted_at": self.engine.now},
                       delay=self.cfg.l2_per_bank.hit_latency)
             return
-        if act == _A_MERGE_RD:
-            entry = self.mshr.allocate(block)
-            entry.waiting_loads.append(msg)
+        if r == _R_MERGE_RD:
+            return
+        if r == _R_RETRY:
+            self._retry(msg)
             return
         self._miss_fetch(msg, block, is_read=True)
 
     def _on_getx(self, msg: Message, atomic: bool) -> None:
         meta = msg.meta
-        if not meta.get("_counted"):
-            meta["_counted"] = True
-            if atomic:
-                self.stats.atomics += 1
-            else:
-                self.stats.writes += 1
+        counted = bool(meta.get("_counted"))
+        meta["_counted"] = True
         block = msg.addr
-        cache = self.cache
-        slot = cache._tag.get(block)
-        st = _L2_NONE if slot is None else cache.c_state[slot]
-        act = _MESI_L2_GETX[st]
-        if act == _A_APPLY:
-            m = cache.c_meta[slot]
-            if m is not None and m.get("inv_pending") is not None:
-                self._retry(msg)
-                return
-            self.stats.hits += 1
-            # Sorted so the invalidation order never depends on set
-            # iteration order (PYTHONHASHSEED) — as in the object kernel.
-            s = cache.c_sharers[slot]
-            sharers = sorted(s) if s else []
-            if not sharers:
-                self._apply_write(msg, cache._views[slot], atomic)
-                return
-            if m is None:
-                m = {}
-                cache.c_meta[slot] = m
-            m["inv_pending"] = {
-                "remaining": len(sharers), "msg": msg, "atomic": atomic,
-            }
-            cache.c_pinned[slot] = True  # not evictable while collecting acks
-            s.clear()
-            for sharer in sharers:
-                self.stats.invalidations_sent += 1
-                self.send(sharer, MsgKind.INV, block,
-                          meta={"requester": msg.src},
-                          delay=self.cfg.l2_per_bank.hit_latency)
+        out = self._out
+        scratch = self._scratch
+        del scratch[:]
+        r = hot.mesi_l2_getx(self._ctx, block, counted, atomic, msg,
+                             scratch, out)
+        if r == _R_APPLY:
+            self._apply_write(msg, self.cache._views[out[0]], atomic)
             return
-        if act == _A_MERGE_WR:
-            entry = self.mshr.allocate(block)
-            entry.pending_stores.append((msg, atomic))
+        if r == _R_INV_FANOUT:
+            # Sharer set sorted into scratch and directory blocked
+            # in-kernel; send the INVs.
+            delay = self.cfg.l2_per_bank.hit_latency
+            for sharer in scratch:
+                self.send(sharer, MsgKind.INV, block,
+                          meta={"requester": msg.src}, delay=delay)
+            del scratch[:]
+            return
+        if r == _R_MERGE_WR:
+            return
+        if r == _R_RETRY:
+            self._retry(msg)
             return
         self._miss_fetch(msg, block, is_read=False, atomic=atomic)
 

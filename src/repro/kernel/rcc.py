@@ -1,19 +1,26 @@
 """Flat-kernel RCC / RCC-WO controllers.
 
-Line-for-line transliterations of :class:`~repro.core.rcc_l1.RCCL1Controller`
-and :class:`~repro.core.rcc_l2.RCCL2Controller` hot paths onto
-:class:`~repro.kernel.layout.FlatTagArray` columns with table-driven
-state dispatch (:mod:`repro.kernel.hot`). Everything observable —
-message fields and ordering, stat increments, MSHR bookkeeping, LRU tick
-consumption, sanitizer events (same transition points, same
-``is not None`` gating) — is preserved exactly; the golden and
-differential batteries assert payload bit-identity against the object
-kernel.
+Thin wrappers over the fused hot kernel (:mod:`repro.kernel.hot`): each
+per-event handler makes ONE call into the compilable subset — table
+lookup, action selection, stat bumps, lease arithmetic, MSHR merge
+bookkeeping, and column writes all happen inside — then performs only
+the object-boundary work the ``R_*`` result code dictates (Message
+construction, sanitizer emits, MemOpRecord completion, DRAM callbacks).
+Everything observable — message fields and ordering, stat increments,
+MSHR bookkeeping, LRU tick consumption, sanitizer events (same
+transition points, same ``is not None`` gating) — is preserved exactly;
+the golden and differential batteries assert payload bit-identity
+against the object kernel.
 
 Cold paths (rollover flush/reset, RENEW fallbacks, DRAM fills, eviction
 callbacks) deliberately reuse the parent implementations, which operate
-on the flat columns through persistent :class:`FlatLineView` handles —
-one implementation, one behavior.
+on the flat columns through persistent :class:`FlatLineView` /
+:class:`FlatMSHREntryView` handles — one implementation, one behavior.
+Per-line lease-policy state lives in the ``c_meta`` dicts under the
+object policies' own keys, so the hot policy arithmetic and the
+inherited fill paths read and write one copy of state; non-built-in
+(registered) policies make the hot kernel return ``R_NEED_LEASE`` and
+the grant runs through the policy object instead.
 """
 
 from __future__ import annotations
@@ -24,74 +31,70 @@ from typing import Optional
 from repro.common.messages import Message
 from repro.common.types import AccessOutcome, L1State, L2State, MemOpKind, \
     MsgKind
+from repro.core.lease_policy import AdaptiveLeasePolicy, FixedLeasePolicy, \
+    PCPredLeasePolicy
 from repro.core.rcc_l1 import RCCL1Controller
 from repro.core.rcc_l2 import RCCL2Controller, RETRY_DELAY
 from repro.core.rcc_wo import RCCWOL1Controller
 from repro.gpu.warp import MemOpRecord, Warp
 from repro.kernel import hot
-from repro.kernel.layout import FlatTagArray
-from repro.mem.cache_array import _lru_ticks
+from repro.kernel.layout import FlatMSHRFile, FlatTagArray, build_l1_ctx, \
+    build_l2_ctx
+from repro.mem.cache_array import _next_lru
 from repro.sanitize.events import EventKind as EV
 from repro.timing.engine import _MASK as _RING_MASK
 
 _L1_V = hot.L1_V
 _L1_IV = hot.L1_IV
-_L1_NONE = hot.L1_NONE
 _L2_V = hot.L2_V
 _L2_IV = hot.L2_IV
 _L2_IAV = hot.L2_IAV
-_L2_NONE = hot.L2_NONE
 
-_RCC_L1_LOAD = hot.RCC_L1_LOAD
-_RCC_L2_GETS = hot.RCC_L2_GETS
-_RCC_L2_WRITE = hot.RCC_L2_WRITE
-_RCC_L2_ATOMIC = hot.RCC_L2_ATOMIC
-
-_A_VHIT = hot.A_VHIT
-_A_GRANT = hot.A_GRANT
-_A_MERGE_RD = hot.A_MERGE_RD
-_A_RETRY = hot.A_RETRY
-_A_APPLY = hot.A_APPLY
-_A_MERGE_WR = hot.A_MERGE_WR
+_R_HIT = hot.R_HIT
+_R_STALL = hot.R_STALL
+_R_MISS_MERGE = hot.R_MISS_MERGE
+_R_MISS_SEND = hot.R_MISS_SEND
+_R_MISS_INSERT = hot.R_MISS_INSERT
+_R_RETRY = hot.R_RETRY
+_R_GRANT_DATA = hot.R_GRANT_DATA
+_R_GRANT_RENEW = hot.R_GRANT_RENEW
+_R_NEED_LEASE = hot.R_NEED_LEASE
+_R_MERGE_RD = hot.R_MERGE_RD
+_R_MERGE_WR = hot.R_MERGE_WR
+_R_APPLY = hot.R_APPLY
+_R_FETCH = hot.R_FETCH
+_R_FETCH_WR = hot.R_FETCH_WR
+_R_FETCH_AT = hot.R_FETCH_AT
 
 
 class FlatRCCL1Controller(RCCL1Controller):
-    """RCC L1 with flat-array tag state and table-driven load dispatch."""
+    """RCC L1 with flat-array tag state and fused hot-kernel dispatch."""
 
     def __init__(self, core_id, engine, cfg, noc, amap, rollover):
         super().__init__(core_id, engine, cfg, noc, amap, rollover)
         self.cache = FlatTagArray(cfg.l1, L1State.I)
+        self.mshr = FlatMSHRFile(cfg.l1.mshr_entries)
+        self._ctx = build_l1_ctx(self.cache, self.mshr, self.stats.c)
+        self._out = [0, 0, 0, 0]
 
     # ------------------------------------------------------------------
     def would_stall(self, kind: MemOpKind, addr: int) -> bool:
         shift = self.amap._block_shift
         block = (addr >> shift) << shift
-        mshr = self.mshr
-        entry = mshr._entries.get(block)
-        if kind is MemOpKind.LOAD:
-            cache = self.cache
-            slot = cache._tag.get(block)
-            if (slot is not None and cache.c_state[slot] == _L1_V
-                    and self._read_now() <= cache.c_exp[slot]):
-                return False
-            if entry is None and len(mshr._entries) >= mshr.capacity:
-                return True
-            return slot is None and not cache.can_allocate(block)
-        return entry is None and len(mshr._entries) >= mshr.capacity
+        return hot.rcc_l1_would_stall(self._ctx, block, self._read_now(),
+                                      kind is MemOpKind.LOAD)
 
     def _load(self, record: MemOpRecord, warp: Warp) -> AccessOutcome:
         shift = self.amap._block_shift
         block = (record.addr >> shift) << shift
-        cache = self.cache
-        slot = cache._tag.get(block)
         rnow = self._read_now()
-        st = _L1_NONE if slot is None else cache.c_state[slot]
+        out = self._out
+        r = hot.rcc_l1_load(self._ctx, block, rnow, out)
 
-        if _RCC_L1_LOAD[st] == _A_VHIT and rnow <= cache.c_exp[slot]:
-            # V (or VI) hit within the lease.
-            stats = self.stats
-            stats.loads += 1
-            stats.load_hits += 1
+        if r == _R_HIT:
+            # V (or VI) hit within the lease; stats + LRU done in-kernel.
+            slot = out[0]
+            cache = self.cache
             if self.sanitizer is not None:
                 self._emit(EV.L1_LOAD_HIT, block, now=rnow,
                            exp=cache.c_exp[slot], view="read",
@@ -99,40 +102,28 @@ class FlatRCCL1Controller(RCCL1Controller):
             record.read_value = cache.c_value[slot]
             record.logical_ts = (self.rollover.epoch << self.clock.bits) | rnow
             record.order_key = -1  # L1 hit: never visited the L2
-            cache.c_lru[slot] = next(_lru_ticks)
             self.complete(record, warp, delay=self.cfg.l1.hit_latency)
             return AccessOutcome.HIT
-
-        expired = st == _L1_V and rnow > cache.c_exp[slot]
-
-        entries = self.mshr._entries
-        entry = entries.get(block)
-        if entry is None and len(entries) >= self.mshr.capacity:
+        if r == _R_STALL:
             return AccessOutcome.STALL
-        if slot is None and not cache.can_allocate(block):
-            return AccessOutcome.STALL  # all ways pinned by transients
-        self.stats.loads += 1
-        if expired:
-            self.stats.load_expired += 1
-        self.stats.load_misses += 1
+
+        ms = out[0]
+        expired = out[1] != 0
         if self.sanitizer is not None:
             self._emit(EV.L1_LOAD_MISS, block, now=rnow, expired=expired,
                        view="read", epoch=self.rollover.epoch)
-        entry = self.mshr.allocate(block)
-        entry.waiting_loads.append((record, warp, rnow))
-
-        if entry.meta.get("gets_out"):
+        # Snapshot the read view at issue: the fill satisfies this load only
+        # if the granted lease covers the snapshot.
+        self.mshr.m_loads[ms].append((record, warp, rnow))
+        if r == _R_MISS_MERGE:
             return AccessOutcome.MISS  # merge into the outstanding GETS
 
         old_exp: Optional[int] = None
-        if slot is None:
-            slot = cache.insert_slot(block, _L1_IV, self._on_evict)
-        else:
-            if cache.c_value[slot] is not None:
-                old_exp = cache.c_exp[slot]
-            cache.c_state[slot] = _L1_IV
-        cache.c_pinned[slot] = True
-        entry.meta["gets_out"] = True
+        if r == _R_MISS_INSERT:
+            slot = self.cache.insert_slot(block, _L1_IV, self._on_evict)
+            self.cache.c_pinned[slot] = True
+        elif out[2]:  # R_MISS_SEND with a renewable stale copy
+            old_exp = out[3]
         self.send_to_l2(
             MsgKind.GETS, block, now=rnow, exp=old_exp,
             meta={"expired": expired, "epoch": self.rollover.epoch,
@@ -144,29 +135,23 @@ class FlatRCCL1Controller(RCCL1Controller):
                          warp: Warp) -> AccessOutcome:
         shift = self.amap._block_shift
         block = (record.addr >> shift) << shift
-        entries = self.mshr._entries
-        entry = entries.get(block)
-        if entry is None and len(entries) >= self.mshr.capacity:
+        is_atomic = record.kind is MemOpKind.ATOMIC
+        out = self._out
+        r = hot.rcc_l1_store(self._ctx, block, is_atomic, out)
+        if r == _R_STALL:
             return AccessOutcome.STALL
-        self.count_access(record)
         cache = self.cache
         if self.sanitizer is not None:
             vslot = cache._tag.get(block)
             self._emit(EV.L1_STORE_ISSUE, block, now=self._write_now(),
                        view="write", epoch=self.rollover.epoch,
-                       atomic=record.kind is MemOpKind.ATOMIC,
-                       op=record.seq,
+                       atomic=is_atomic, op=record.seq,
                        copy_exp=(cache.c_exp[vslot] if vslot is not None
                                  and cache.c_state[vslot] == _L1_V else None))
-        entry = self.mshr.allocate(block)
-        entry.pending_stores.append((record, warp))
-        slot = cache._tag.get(block)
-        if slot is not None:
-            cache.c_pinned[slot] = True  # VI/II transients are not evictable
-        kind = (MsgKind.ATOMIC if record.kind is MemOpKind.ATOMIC
-                else MsgKind.WRITE)
+        self.mshr.m_stores[out[0]].append((record, warp))
         self.send_to_l2(
-            kind, block, now=self._write_now(), value=record.value,
+            MsgKind.ATOMIC if is_atomic else MsgKind.WRITE, block,
+            now=self._write_now(), value=record.value,
             meta={"record": record, "warp": warp,
                   "epoch": self.rollover.epoch},
         )
@@ -202,7 +187,6 @@ class FlatRCCL1Controller(RCCL1Controller):
 
     def _deliver_loads(self, block: int, entry, value, ver: int, exp: int,
                        arrival: int) -> None:
-        satisfied_any = False
         keep = []
         epoch_bits = self.rollover.epoch << self.clock.bits
         for record, warp, snapshot in entry.waiting_loads:
@@ -212,15 +196,15 @@ class FlatRCCL1Controller(RCCL1Controller):
                                                   else snapshot)
                 record.order_key = arrival
                 self.complete(record, warp)
-                satisfied_any = True
             else:
                 keep.append((record, warp, self._read_now()))
         entry.waiting_loads = keep
+        mshr = self.mshr
         if keep:
             cache = self.cache
             slot = cache._tag.get(block)
             renewable = slot is not None and cache.c_value[slot] is not None
-            entry.meta["gets_out"] = True
+            mshr.m_gets_out[entry._slot] = True
             self.send_to_l2(
                 MsgKind.GETS, block, now=self._read_now(),
                 exp=exp if renewable else None,
@@ -228,7 +212,7 @@ class FlatRCCL1Controller(RCCL1Controller):
                       "pc": keep[0][0].prog_index},
             )
         else:
-            entry.meta["gets_out"] = False
+            mshr.m_gets_out[entry._slot] = False
             self._maybe_release(block)
 
     def _on_renew(self, msg: Message, epoch: int) -> None:
@@ -248,7 +232,7 @@ class FlatRCCL1Controller(RCCL1Controller):
                     meta={"expired": False, "epoch": self.rollover.epoch,
                           "pc": entry.waiting_loads[0][0].prog_index},
                 )
-                entry.meta["gets_out"] = True
+                self.mshr.m_gets_out[entry._slot] = True
             return
         cache.c_state[slot] = _L1_V
         cache.c_exp[slot] = exp
@@ -313,13 +297,35 @@ class FlatRCCWOL1Controller(RCCWOL1Controller, FlatRCCL1Controller):
 
 
 class FlatRCCL2Controller(RCCL2Controller):
-    """RCC L2 bank with flat-array directory state and table dispatch."""
+    """RCC L2 bank with flat directory state and fused hot dispatch."""
 
     def __init__(self, bank_id, engine, cfg, noc, amap, dram, backing,
                  rollover):
         super().__init__(bank_id, engine, cfg, noc, amap, dram, backing,
                          rollover)
         self.cache = FlatTagArray(cfg.l2_per_bank, L2State.I)
+        self.mshr = FlatMSHRFile(cfg.l2_per_bank.mshr_entries)
+        # Exact-type policy detection: registered subclasses fall to
+        # P_OTHER and grant through the policy object (R_NEED_LEASE).
+        pred = self.predictor
+        t = type(pred)
+        if t is FixedLeasePolicy:
+            pol = hot.P_FIXED
+        elif t is AdaptiveLeasePolicy:
+            pol = hot.P_ADAPTIVE
+        elif t is PCPredLeasePolicy:
+            pol = hot.P_PCPRED
+        else:
+            pol = hot.P_OTHER
+        self._pol = pol
+        ts = cfg.ts
+        self._ctx = build_l2_ctx(
+            self.cache, self.mshr, self.stats.c,
+            pred.table if pol == hot.P_PCPRED else {},
+            pol, ts.predictor_enabled, ts.lease_min, ts.lease_max,
+            ts.lease_default, self.renew_enabled)
+        self._out = [0, 0, 0, 0, 0]
+        self._obox = [None]
 
     # ------------------------------------------------------------------
     def _projected_ts(self, msg: Message) -> int:
@@ -405,50 +411,61 @@ class FlatRCCL2Controller(RCCL2Controller):
     def _on_gets(self, msg: Message, m_now: int,
                  m_exp: Optional[int]) -> None:
         meta = msg.meta
-        if not meta.get("_counted"):
-            meta["_counted"] = True
-            self.stats.gets += 1
-            if meta.get("expired"):
-                self.stats.gets_expired += 1
+        counted = bool(meta.get("_counted"))
+        meta["_counted"] = True
         block = msg.addr
-        cache = self.cache
-        slot = cache._tag.get(block)
-        st = _L2_NONE if slot is None else cache.c_state[slot]
-        act = _RCC_L2_GETS[st]
+        pc = meta.get("pc")
+        out = self._out
+        r = hot.rcc_l2_gets(
+            self._ctx, block, m_now, m_exp is not None,
+            m_exp if m_exp is not None else 0, counted,
+            bool(meta.get("expired")), pc is not None,
+            pc if pc is not None else 0, msg, out)
 
-        if act == _A_GRANT:
-            self.stats.hits += 1
-            self._grant_lease_flat(msg, slot, m_now, m_exp)
+        if r == _R_GRANT_DATA or r == _R_GRANT_RENEW:
+            # Lease computed and columns updated in-kernel; draw the
+            # arrival and send (the arrival counter is untouched by the
+            # hot call, so the value matches the object kernel's draw).
+            slot = out[0]
+            ver = out[1]
+            exp = out[2]
+            arrival = self.next_arrival()
+            renewing = r == _R_GRANT_RENEW
+            if self.sanitizer is not None:
+                self._emit(EV.L2_RENEW_GRANT if renewing
+                           else EV.L2_READ_GRANT,
+                           block, ver=ver, exp=exp, m_now=m_now,
+                           prev_exp=out[3], lease=out[4],
+                           peer=msg.src[1], epoch=self.rollover.epoch)
+            if renewing:
+                self.send(msg.src, MsgKind.RENEW, block, exp=exp,
+                          meta={"epoch": self.rollover.epoch,
+                                "arrival": arrival},
+                          delay=self.cfg.l2_per_bank.hit_latency)
+            else:
+                self.send(msg.src, MsgKind.DATA, block, exp=exp,
+                          ver=ver, value=self.cache.c_value[slot],
+                          meta={"epoch": self.rollover.epoch,
+                                "arrival": arrival},
+                          delay=self.cfg.l2_per_bank.hit_latency)
             return
-        if act == _A_RETRY:
+        if r == _R_MERGE_RD:
+            return
+        if r == _R_NEED_LEASE:
+            self._grant_lease_flat(msg, out[0], m_now, m_exp)
+            return
+        if r == _R_RETRY:
             self._retry(msg)
             return
-        if act == _A_MERGE_RD:
-            entry = self.mshr.allocate(block)
-            if m_now > entry.lastrd:
-                entry.lastrd = m_now
-            entry.has_read = True
-            entry.waiting_loads.append(msg)
-            return
-        # A_FETCH: miss, fetch from DRAM.
-        mshr = self.mshr
-        if not (len(mshr._entries) < mshr.capacity
-                or block in mshr._entries) \
-                or not cache.can_allocate(block):
-            self._retry(msg)
-            return
-        self.stats.misses += 1
-        slot = cache.insert_slot(block, _L2_IV, self._on_evict)
-        cache.c_pinned[slot] = True
-        entry = mshr.allocate(block)
-        if m_now > entry.lastrd:
-            entry.lastrd = m_now
-        entry.has_read = True
-        entry.waiting_loads.append(msg)
+        # R_FETCH: MSHR bookkeeping done; insert the line and fetch.
+        slot = self.cache.insert_slot(block, _L2_IV, self._on_evict)
+        self.cache.c_pinned[slot] = True
         self.fetch_from_dram(block, self._on_dram_data)
 
     def _grant_lease_flat(self, msg: Message, slot: int, m_now: int,
                           m_exp: Optional[int]) -> None:
+        """Object-path grant for non-built-in lease policies (the hit
+        stat was already bumped in-kernel)."""
         cache = self.cache
         view = cache._views[slot]
         pc = msg.meta.get("pc")
@@ -463,7 +480,7 @@ class FlatRCCL2Controller(RCCL2Controller):
         if t > exp:
             exp = t
         cache.c_exp[slot] = exp
-        cache.c_lru[slot] = next(_lru_ticks)
+        cache.c_lru[slot] = _next_lru()
         arrival = self.next_arrival()
         renewing = (self.renew_enabled and m_exp is not None
                     and m_exp > ver)
@@ -491,114 +508,86 @@ class FlatRCCL2Controller(RCCL2Controller):
     # ------------------------------------------------------------------
     def _on_write(self, msg: Message, m_now: int) -> None:
         meta = msg.meta
-        if not meta.get("_counted"):
-            meta["_counted"] = True
-            self.stats.writes += 1
+        counted = bool(meta.get("_counted"))
+        meta["_counted"] = True
         block = msg.addr
-        cache = self.cache
-        slot = cache._tag.get(block)
-        st = _L2_NONE if slot is None else cache.c_state[slot]
-        act = _RCC_L2_WRITE[st]
+        out = self._out
+        r = hot.rcc_l2_write(self._ctx, block, m_now, counted, msg.value,
+                             out)
 
-        if act == _A_APPLY:
-            self.stats.hits += 1
+        if r == _R_APPLY:
             arrival = self.next_arrival()
-            prev_ver = cache.c_ver[slot]
-            prev_exp = cache.c_exp[slot]
-            # Rules 2+3: past the writer's now, the last write, and every
-            # outstanding lease — computed locally, acknowledged instantly.
-            ver = prev_exp + 1
-            if prev_ver > ver:
-                ver = prev_ver
-            if m_now > ver:
-                ver = m_now
-            cache.c_ver[slot] = ver
-            cache.c_value[slot] = msg.value
-            cache.c_dirty[slot] = True
-            cache.c_lru[slot] = next(_lru_ticks)
-            self.predictor.on_write(cache._views[slot])
+            if self._pol == hot.P_OTHER:
+                self.predictor.on_write(self.cache._views[out[0]])
             if self.sanitizer is not None:
-                self._emit(EV.L2_WRITE_APPLY, block, ver=ver,
-                           prev_ver=prev_ver, prev_exp=prev_exp,
+                self._emit(EV.L2_WRITE_APPLY, block, ver=out[1],
+                           prev_ver=out[2], prev_exp=out[3],
                            m_now=m_now, arrival=arrival,
                            epoch=self.rollover.epoch)
-            self._send_ack(msg, ver, arrival)
+            self._send_ack(msg, out[1], arrival)
             return
-        if act == _A_RETRY:
+        if r == _R_RETRY:
             self._retry(msg)
             return
-        if act == _A_MERGE_WR:
-            self._merge_write(msg, m_now)
-            return
-        # A_FETCH: allocate, ack against lastwr/mnow, fetch in background.
-        mshr = self.mshr
-        if not (len(mshr._entries) < mshr.capacity
-                or block in mshr._entries) \
-                or not cache.can_allocate(block):
-            self._retry(msg)
-            return
-        self.stats.misses += 1
-        slot = cache.insert_slot(block, _L2_IV, self._on_evict)
-        cache.c_pinned[slot] = True
-        mshr.allocate(block)
-        self._merge_write(msg, m_now)
-        self.fetch_from_dram(block, self._on_dram_data)
+        # R_MERGE_WR / R_FETCH_WR: merge bookkeeping done in-kernel; the
+        # final version is max(lastwr, mnow) computed *after* any line
+        # insertion, because an eviction there bumps mnow.
+        if r == _R_FETCH_WR:
+            slot = self.cache.insert_slot(block, _L2_IV, self._on_evict)
+            self.cache.c_pinned[slot] = True
+        lastwr = out[0]
+        mnow = self.dram.mnow
+        ver = lastwr if lastwr > mnow else mnow
+        arrival = self.next_arrival()
+        if self.sanitizer is not None:
+            self._emit(EV.L2_WRITE_MERGE, block, ver=ver, lastwr=lastwr,
+                       mnow=mnow, arrival=arrival,
+                       epoch=self.rollover.epoch)
+        self._send_ack(msg, ver, arrival)
+        if r == _R_FETCH_WR:
+            self.fetch_from_dram(block, self._on_dram_data)
 
     # ------------------------------------------------------------------
     def _on_atomic(self, msg: Message, m_now: int) -> None:
         meta = msg.meta
-        if not meta.get("_counted"):
-            meta["_counted"] = True
-            self.stats.atomics += 1
+        counted = bool(meta.get("_counted"))
+        meta["_counted"] = True
         block = msg.addr
-        cache = self.cache
-        slot = cache._tag.get(block)
-        st = _L2_NONE if slot is None else cache.c_state[slot]
-        act = _RCC_L2_ATOMIC[st]
+        out = self._out
+        obox = self._obox
+        r = hot.rcc_l2_atomic(self._ctx, block, m_now, counted, msg.value,
+                              obox, out)
 
-        if act == _A_APPLY:
-            self.stats.hits += 1
+        if r == _R_APPLY:
             arrival = self.next_arrival()
-            prev_ver = cache.c_ver[slot]
-            prev_exp = cache.c_exp[slot]
-            ver = prev_exp + 1
-            if prev_ver > ver:
-                ver = prev_ver
-            if m_now > ver:
-                ver = m_now
-            old_value = cache.c_value[slot]
-            cache.c_ver[slot] = ver
-            cache.c_value[slot] = msg.value
-            cache.c_dirty[slot] = True
-            cache.c_lru[slot] = next(_lru_ticks)
-            self.predictor.on_write(cache._views[slot])
+            if self._pol == hot.P_OTHER:
+                self.predictor.on_write(self.cache._views[out[0]])
             if self.sanitizer is not None:
-                self._emit(EV.L2_ATOMIC_APPLY, block, ver=ver,
-                           prev_ver=prev_ver, prev_exp=prev_exp,
+                self._emit(EV.L2_ATOMIC_APPLY, block, ver=out[1],
+                           prev_ver=out[2], prev_exp=out[3],
                            m_now=m_now, arrival=arrival,
                            epoch=self.rollover.epoch)
-            self.send(msg.src, MsgKind.DATA, block, exp=prev_exp,
-                      ver=ver, value=old_value,
+            old_value = obox[0]
+            obox[0] = None
+            self.send(msg.src, MsgKind.DATA, block, exp=out[3],
+                      ver=out[1], value=old_value,
                       meta={"atomic": True,
-                            "record": msg.meta.get("record"),
-                            "warp": msg.meta.get("warp"),
+                            "record": meta.get("record"),
+                            "warp": meta.get("warp"),
                             "epoch": self.rollover.epoch,
                             "arrival": arrival},
                       delay=self.cfg.l2_per_bank.hit_latency)
             return
-        if act == _A_RETRY:  # IV or IAV: stall all further requests
+        if r == _R_RETRY:  # IV or IAV: stall all further requests
             self._retry(msg)
             return
-        # A_FETCH: miss in I — fetch and run the RMW when data arrives.
-        if not self.mshr.has_free() or not cache.can_allocate(block):
-            self._retry(msg)
-            return
-        self.stats.misses += 1
-        slot = cache.insert_slot(block, _L2_IAV, self._on_evict)
-        cache.c_pinned[slot] = True
-        entry = self.mshr.allocate(block)
-        if m_now > entry.lastwr:
-            entry.lastwr = m_now
-        entry.has_write = True
-        entry.meta["atomic_msg"] = msg
+        # R_FETCH_AT: fetch and run the RMW when data arrives.
+        slot = self.cache.insert_slot(block, _L2_IAV, self._on_evict)
+        self.cache.c_pinned[slot] = True
+        ms = out[0]
+        mm = self.mshr.m_meta[ms]
+        if mm is None:
+            mm = {}
+            self.mshr.m_meta[ms] = mm
+        mm["atomic_msg"] = msg
         self.fetch_from_dram(block, self._on_dram_data)

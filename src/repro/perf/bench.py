@@ -13,6 +13,9 @@ scheduler noise).
 
 from __future__ import annotations
 
+import os
+import platform
+import subprocess
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -20,9 +23,41 @@ from repro.config import GPUConfig
 from repro.core.lease_policy import available_lease_policies
 from repro.exec import SimCell, run_cell
 
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 
-ABLATION_SCHEMA = 1
+ABLATION_SCHEMA = 2
+
+
+def provenance() -> Dict[str, Any]:
+    """Where a report's numbers came from: git revision, the kernel that
+    actually ran (flat vs object, compiled vs interpreted), and the
+    interpreter. Stamped into every BENCH_*/ABLATION_* report so a
+    committed artifact is self-describing — a compiled-kernel CI number
+    can never be mistaken for an interpreted local one."""
+    from repro import kernel
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    sha = "unknown"
+    dirty = False
+    try:
+        proc = subprocess.run(["git", "rev-parse", "HEAD"], cwd=here,
+                              capture_output=True, text=True, timeout=10)
+        if proc.returncode == 0:
+            sha = proc.stdout.strip()
+        proc = subprocess.run(["git", "status", "--porcelain"], cwd=here,
+                              capture_output=True, text=True, timeout=10)
+        dirty = proc.returncode == 0 and bool(proc.stdout.strip())
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return {
+        "git_sha": sha,
+        "git_dirty": dirty,
+        "kernel": kernel.kernel_description(),
+        "kernel_compiled": kernel.COMPILED,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+    }
 
 #: Protocols × workloads of the lease-policy ablation: both RCC variants
 #: (the only protocols a lease policy can affect) on workloads spanning
@@ -110,8 +145,40 @@ def _measure(cell: SimCell) -> Tuple[Dict[str, Any], Any]:
     )
 
 
+def profile_cell(cell: SimCell, top_n: int = 15) -> List[Dict[str, Any]]:
+    """Re-run one cell under cProfile; top-``top_n`` functions by
+    cumulative time. Run separately from :func:`_measure` so profiler
+    overhead never contaminates the reported throughput."""
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    run_cell(cell)
+    prof.disable()
+    stats = pstats.Stats(prof)
+    rows: List[Dict[str, Any]] = []
+    ranked = sorted(stats.stats.items(),  # type: ignore[attr-defined]
+                    key=lambda kv: kv[1][3], reverse=True)
+    for (filename, line, name), (_cc, nc, tt, ct, _callers) in ranked:
+        if name in ("<built-in method builtins.exec>", "profile_cell"):
+            continue  # harness frames above the cell run
+        where = (name if filename.startswith("<") and line == 0
+                 else f"{os.path.basename(filename)}:{line}:{name}")
+        rows.append({
+            "func": where,
+            "ncalls": nc,
+            "tottime_s": round(tt, 4),
+            "cumtime_s": round(ct, 4),
+        })
+        if len(rows) >= top_n:
+            break
+    return rows
+
+
 def run_bench(quick: bool = False,
-              compare_legacy: bool = False) -> Dict[str, Any]:
+              compare_legacy: bool = False,
+              profile_top: int = 0) -> Dict[str, Any]:
     """Run the benchmark suite; returns the report dict.
 
     With ``compare_legacy``, every cell is re-run on the pre-optimization
@@ -119,14 +186,18 @@ def run_bench(quick: bool = False,
     ``legacy`` block per cell plus the end-to-end speedup ratio. The two
     runs must produce identical result payloads — the engines share one
     determinism contract — and a mismatch raises immediately.
-    """
-    import os
 
+    With ``profile_top`` > 0, every cell is re-run under cProfile after
+    its timing run and the report gains a per-cell ``profile`` block with
+    the top-N functions by cumulative time (the timing numbers stay
+    profiler-free).
+    """
     cells = quick_cells() if quick else full_cells()
     calibration = calibrate()
     report: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "mode": "quick" if quick else "full",
+        "provenance": provenance(),
         "calibration_loops_per_s": round(calibration, 1),
         "cells": {},
     }
@@ -137,6 +208,8 @@ def run_bench(quick: bool = False,
         entry, result = _measure(cell)
         entry["events_per_s_normalized"] = round(
             entry["events_per_s"] / calibration, 6)
+        if profile_top > 0:
+            entry["profile"] = profile_cell(cell, top_n=profile_top)
         if compare_legacy:
             os.environ["RCC_LEGACY_ENGINE"] = "1"
             try:
@@ -243,6 +316,7 @@ def run_lease_ablation(quick: bool = False,
         "schema": ABLATION_SCHEMA,
         "kind": "lease-ablation",
         "mode": "quick" if quick else "full",
+        "provenance": provenance(),
         "calibration_loops_per_s": round(calibration, 1),
         "policies": {},
     }

@@ -27,7 +27,7 @@ from repro.core.lease_policy import available_lease_policies
 from repro.exec import SimCell, run_cell
 
 PROTOCOLS = ("RCC", "RCC-WO", "MESI")
-WORKLOADS = ("bfs", "stn", "dlb")
+WORKLOADS = ("bfs", "stn", "dlb", "lud")
 INTENSITIES = (0.25, 1.0)
 SEED = 1234
 OUT = os.path.join(os.path.dirname(__file__), "flat_kernel_golden.json")

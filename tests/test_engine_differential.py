@@ -166,6 +166,64 @@ def test_park_and_resume_with_earlier_insertion():
 
 
 # ----------------------------------------------------------------------
+# Drain-path edges: a callback-only bucket goes through the batch
+# hot-kernel drain on the fast engine; these pins hold on both engines.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine_cls", [Engine, LegacyEngine],
+                         ids=["fast", "legacy"])
+def test_stop_from_bare_callback_mid_drain(engine_cls):
+    # stop() issued *inside* a bare schedule_call callback must halt the
+    # drain before the next entry of the same bucket fires, and a second
+    # run() must resume exactly where it left off.
+    eng = engine_cls()
+    log = []
+    eng.schedule_call(5, lambda: log.append("a"))
+    eng.schedule_call(5, lambda: (log.append("stop"), eng.stop()))
+    eng.schedule_call(5, lambda: log.append("b"))
+    eng.schedule_call(9, lambda: log.append("later"))
+    eng.run()
+    assert log == ["a", "stop"]
+    eng.run()
+    assert log == ["a", "stop", "b", "later"]
+
+
+def test_event_appended_to_current_bucket_mid_drain():
+    # A bare callback scheduling a cancellable *Event* into its own cycle
+    # forces the fast engine to abandon the batch drain mid-bucket (the
+    # bucket no longer holds only bare callbacks). Firing order must stay
+    # submission order on both engines, and cancelling the fresh handle
+    # from a sibling callback must suppress it.
+    def script_ops(eng, log, cancel_it):
+        box = {}
+
+        def planter():
+            log.append("plant")
+            box["h"] = eng.schedule(eng.now, lambda: log.append("event"))
+
+        def sibling():
+            log.append("sibling")
+            if cancel_it:
+                box["h"].cancel()
+
+        eng.schedule_call(7, planter)
+        eng.schedule_call(7, sibling)
+        eng.schedule_call(7, lambda: log.append("tail"))
+
+    for cancel_it, expect in ((False, ["plant", "sibling", "tail",
+                                       "event"]),
+                              (True, ["plant", "sibling", "tail"])):
+        logs = []
+        for engine_cls in (Engine, LegacyEngine):
+            eng = engine_cls()
+            log = []
+            script_ops(eng, log, cancel_it)
+            eng.run()
+            logs.append(log)
+            assert log == expect, (engine_cls.__name__, cancel_it)
+        assert logs[0] == logs[1]
+
+
+# ----------------------------------------------------------------------
 # End-to-end: a seeded Fig. 9 cell must be bit-identical across engines.
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("protocol,workload",

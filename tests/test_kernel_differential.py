@@ -21,6 +21,10 @@ import json
 import pytest
 
 from repro.config import GPUConfig
+from repro.core.lease_policy import (FixedLeasePolicy,
+                                     available_lease_policies,
+                                     register_lease_policy,
+                                     unregister_lease_policy)
 from repro.exec import SimCell, run_cell
 from repro.kernel import flat_kernel_enabled
 from repro.sanitize.sanitizer import Sanitizer
@@ -48,16 +52,48 @@ def test_payload_bit_identical(protocol, workload, seed, monkeypatch):
     assert json.dumps(flat, sort_keys=True) == json.dumps(obj, sort_keys=True)
 
 
+@pytest.mark.parametrize("policy", sorted(available_lease_policies()))
 @pytest.mark.parametrize("protocol", PROTOCOLS)
-def test_policy_override_bit_identical(protocol, monkeypatch):
-    """The non-default lease policies drive the flat L2 grant path through
-    the per-slot views (predictor callbacks) — identical there too."""
+def test_policy_override_bit_identical(protocol, policy, monkeypatch):
+    """Every built-in lease policy's arithmetic now runs *inside* the
+    fused L2 grant handler (``hot.rcc_l2_gets`` + the ``_policy_*``
+    helpers) — the atomic-heavy dlb cell must stay bit-identical to the
+    object controllers running the policy objects."""
     cell = SimCell(cfg=GPUConfig.small(), protocol=protocol,
                    workload="dlb", intensity=1.0, seed=31,
-                   ts_overrides=(("lease_policy", "pc-pred"),))
+                   ts_overrides=(("lease_policy", policy),))
     flat = _payload(cell, monkeypatch, flat=True)
     obj = _payload(cell, monkeypatch, flat=False)
     assert flat == obj
+
+
+class _ProbeHalfLease(FixedLeasePolicy):
+    """Registered subclass: must NOT be treated as the built-in fixed
+    policy by the fused kernel (exact-type detection -> P_OTHER)."""
+
+    name = "probe-half"
+
+    def lease_for(self, line, now=0, pc=None):
+        base = super().lease_for(line, now, pc=pc)
+        return max(1, base // 2)
+
+
+@pytest.mark.parametrize("protocol", ("RCC", "RCC-WO"))
+def test_registered_subclass_policy_bit_identical(protocol, monkeypatch):
+    """A registered *subclass* policy takes the R_NEED_LEASE escape: the
+    fused handler bumps the hit stat, then defers the grant to the
+    wrapper running the real policy object. Payloads must match the
+    object kernel exactly, proving the escape hatch loses nothing."""
+    register_lease_policy(_ProbeHalfLease, replace=True)
+    try:
+        cell = SimCell(cfg=GPUConfig.small(), protocol=protocol,
+                       workload="dlb", intensity=1.0, seed=31,
+                       ts_overrides=(("lease_policy", "probe-half"),))
+        flat = _payload(cell, monkeypatch, flat=True)
+        obj = _payload(cell, monkeypatch, flat=False)
+        assert flat == obj
+    finally:
+        unregister_lease_policy("probe-half")
 
 
 def _event_stream(protocol: str, monkeypatch, flat: bool):

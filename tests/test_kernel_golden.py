@@ -77,12 +77,12 @@ def test_flat_kernel_bit_identical(key):
 
 
 def test_golden_grid_shape():
-    """The golden grid is the full 3 x 3 x policies x 2 cross it claims."""
+    """The golden grid is the full 3 x 4 x policies x 2 cross it claims."""
     keys = GOLDEN["cells"].keys()
     protocols = {k.split("/")[0] for k in keys}
     workloads = {k.split("/")[1] for k in keys}
     policies = {k.split("/")[2].rsplit("@", 1)[0] for k in keys}
     assert protocols == {"RCC", "RCC-WO", "MESI"}
-    assert workloads == {"bfs", "stn", "dlb"}
+    assert workloads == {"bfs", "stn", "dlb", "lud"}
     assert policies == set(available_lease_policies())
-    assert len(keys) == 3 * 3 * len(policies) * 2
+    assert len(keys) == 3 * 4 * len(policies) * 2

@@ -170,3 +170,42 @@ def test_victim_parity_object_vs_flat(seed):
     flat_ev, flat_final = _replay(flat, script)
     assert obj_ev == flat_ev
     assert obj_final == flat_final
+
+
+# ----------------------------------------------------------------------
+# Fill-target selection: pick_slot replaces the two-scan pair
+# ----------------------------------------------------------------------
+
+def test_find_free_way_removed():
+    """``find_free_way`` is gone: the free-way scan is fused into
+    :func:`hot.pick_slot` so steady-state fills pay one pass, not two.
+    This pin stops the dead helper from quietly coming back (and the
+    compiled build from re-exporting it)."""
+    assert not hasattr(hot, "find_free_way")
+    assert callable(hot.pick_slot)
+    assert callable(hot.pick_victim)  # the victim half survives alone
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_pick_slot_is_free_way_first_else_victim(seed):
+    """Randomized occupancy/pin/LRU grids: pick_slot must return the
+    lowest free way when one exists, and exactly ``pick_victim``'s
+    choice otherwise (including the -1 all-pinned case)."""
+    rng = random.Random(seed)
+    assoc = 4
+    inv = hot.L1_I
+    states = [hot.L1_I, hot.L1_V, hot.L1_IV, hot.L1_VI]
+    for _ in range(500):
+        used = [rng.random() < 0.8 for _ in range(assoc)]
+        state = [rng.choice(states) for _ in range(assoc)]
+        lru = rng.sample(range(1, 1000), assoc)
+        pinned = [rng.random() < 0.3 for _ in range(assoc)]
+        got = hot.pick_slot(used, state, lru, pinned, 0, assoc, inv)
+        free = [w for w in range(assoc) if not used[w]]
+        if free:
+            assert got == free[0], (used, pinned)
+        else:
+            want = hot.pick_victim(used, state, lru, pinned, 0, assoc, inv)
+            assert got == want, (used, state, lru, pinned)
+            assert got == -1 or not pinned[got]
+        assert hot.can_fill(used, pinned, 0, assoc) == (got != -1)

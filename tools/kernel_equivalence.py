@@ -1,0 +1,124 @@
+"""Cross-build kernel equivalence probe (CI: the kernel-matrix job).
+
+Runs a fixed sanitized cell grid against whichever flat-kernel build the
+environment selects — the compiled ``hot_c`` extension when one is
+importable, the interpreted ``hot`` module under
+``RCC_KERNEL_COMPILED=0`` — teeing every ``Sanitizer.emit`` call, and
+writes one canonical JSON document: per-cell payload SHA-256 plus
+event-stream SHA-256 (every transition, cycle, and field folded in).
+
+CI runs it twice, compiled then interpreted, and ``diff``s the two
+documents. Byte-equal output proves the mypyc/Cython build changed
+nothing observable — not the result payloads, not a single sanitizer
+emission. The kernel description is printed to stderr (and checked via
+``--expect``), never written to the document, so the diff is exact.
+
+Usage::
+
+    PYTHONPATH=src python tools/kernel_equivalence.py \
+        --expect flat+compiled --out eq_compiled.json
+    RCC_KERNEL_COMPILED=0 PYTHONPATH=src python tools/kernel_equivalence.py \
+        --expect flat --out eq_interp.json
+    diff eq_compiled.json eq_interp.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import hashlib
+import json
+import sys
+from typing import List, Optional
+
+# The probe compares flat-kernel builds against each other, so the flat
+# kernel must be on regardless of the caller's environment.
+import os
+os.environ["RCC_FLAT_KERNEL"] = "1"
+
+from repro import kernel
+from repro.config import GPUConfig
+from repro.sanitize.sanitizer import Sanitizer
+from repro.sim.gpusim import run_simulation
+from repro.workloads import get_workload
+
+#: (protocol, workload, intensity, seed, lease_policy or None) — small
+#: machine. Covers the RCC lease path, the write-optimized variant, the
+#: MESI directory (inv fanout), and one non-default policy so the fused
+#: grant helpers run under both builds.
+CELLS = (
+    ("RCC", "stn", 0.75, 11, None),
+    ("RCC-WO", "bfs", 0.5, 7, None),
+    ("MESI", "stn", 0.75, 11, None),
+    ("RCC", "dlb", 1.0, 31, "pc-pred"),
+)
+
+
+def _run_cell(protocol: str, workload: str, intensity: float, seed: int,
+              policy: Optional[str]):
+    events: List[tuple] = []
+    real_emit = Sanitizer.emit
+
+    def tee(self, kind, unit, unit_id, cycle, addr, **fields):
+        events.append((kind, unit, unit_id, cycle, addr,
+                       tuple(sorted(fields.items()))))
+        real_emit(self, kind, unit, unit_id, cycle, addr, **fields)
+
+    cfg = GPUConfig.small()
+    if policy is not None:
+        cfg = dataclasses.replace(
+            cfg, ts=dataclasses.replace(cfg.ts, lease_policy=policy))
+    wl = get_workload(workload, intensity=intensity, seed=seed)
+    Sanitizer.emit = tee
+    try:
+        result = run_simulation(cfg, protocol, wl.generate(cfg), workload,
+                                sanitize=True)
+    finally:
+        Sanitizer.emit = real_emit
+    payload = json.dumps(result.to_payload(), sort_keys=True)
+    stream = json.dumps(events, sort_keys=True)
+    return {
+        "payload_sha256": hashlib.sha256(payload.encode()).hexdigest(),
+        "events": len(events),
+        "event_stream_sha256": hashlib.sha256(stream.encode()).hexdigest(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--expect", choices=["flat", "flat+compiled"],
+                        default=None,
+                        help="fail unless the selected kernel matches "
+                             "(guards against a silently-skipped build)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the document here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    desc = kernel.kernel_description()
+    print(f"kernel under probe: {desc} (compiled={kernel.COMPILED})",
+          file=sys.stderr)
+    if args.expect is not None and desc != args.expect:
+        print(f"expected kernel {args.expect!r}, got {desc!r}",
+              file=sys.stderr)
+        return 2
+
+    doc = {"kind": "kernel-equivalence", "schema": 1, "cells": {}}
+    for protocol, workload, intensity, seed, policy in CELLS:
+        key = f"{protocol}/{workload}/{policy or 'default'}@{intensity}"
+        doc["cells"][key] = _run_cell(protocol, workload, intensity, seed,
+                                      policy)
+        print(f"{key}: {doc['cells'][key]['events']} events "
+              f"{doc['cells'][key]['event_stream_sha256'][:12]}",
+              file=sys.stderr)
+
+    blob = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(blob)
+    else:
+        sys.stdout.write(blob)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
